@@ -1,0 +1,83 @@
+// Ablation: EVT estimator choice x campaign sizing. The MBPTA literature
+// the paper builds on debates exponential-tail (CV method, Abella et al.
+// TODAES'17 — always over-approximating, most stable) versus Gumbel/GEV
+// block maxima (Palma et al. RTSS'17). We fit both on (a) a fixed-size
+// campaign and (b) a TAC-sized campaign, and validate the deep quantiles
+// against the empirical maximum of a much larger hold-out campaign.
+//
+// Expected outcome — and the bench that best motivates the paper: on
+// benchmarks with rare high-impact layouts (matmult, ns), BOTH estimators
+// under-bound when fitted on an under-sized sample, regardless of the
+// distribution family; with TAC-sized campaigns they recover. The
+// estimator debate is secondary to representativeness.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "ir/interp.hpp"
+#include "mbpta/evt.hpp"
+#include "mbpta/pwcet.hpp"
+#include "util/stats.hpp"
+#include "suite/malardalen.hpp"
+#include "tac/runs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbcr;
+  const bench::BenchOptions opt = bench::parse_options(
+      argc, argv, "Ablation: EVT estimator x campaign sizing");
+
+  const core::AnalysisConfig cfg = bench::paper_config(opt);
+  const core::Analyzer analyzer(cfg);
+  const std::size_t small_runs = bench::scaled_runs(opt, 20'000, 100'000);
+  const std::size_t holdout_runs =
+      bench::scaled_runs(opt, 400'000, 2'000'000);
+
+  std::cout << "EVT estimator ablation: quantiles at 1e-12 from a "
+            << small_runs << "-run sample vs a TAC-sized sample, validated "
+            << "against the max of " << holdout_runs << " hold-out runs\n\n";
+  AsciiTable table({"benchmark", "holdout max", "exp small", "gum small",
+                    "R_tac", "exp TAC-sized", "covers?"});
+  bool tac_sized_always_covers = true;
+  int small_exp_misses = 0;
+  for (const std::string name :
+       {"bs", "fir", "crc", "edn", "matmult", "ns"}) {
+    const auto b = suite::make_benchmark(name);
+    const ir::Program pubbed = pub::apply_pub(b.program);
+    const auto exec = ir::lower_and_execute(pubbed, b.default_input);
+
+    const auto small = analyzer.measure(pubbed, b.default_input, small_runs);
+    const auto holdout =
+        analyzer.measure(pubbed, b.default_input, holdout_runs);
+    const double hmax = *std::max_element(holdout.begin(), holdout.end());
+
+    const auto tac_res = tac::analyze_trace(
+        exec.trace, cfg.machine.il1, cfg.machine.dl1,
+        mean(std::span<const double>(small.data(), 1000)),
+        static_cast<double>(cfg.machine.timing.mem_latency), cfg.tac);
+    const std::size_t tac_runs = std::max(tac_res.required_runs, small_runs);
+    const auto sized = analyzer.measure(pubbed, b.default_input, tac_runs);
+
+    const double exp_small =
+        mbpta::fit_exponential_tail(small).quantile(1e-12);
+    // Gumbel is per block of 100 runs: 1e-12 per run ~ 1e-10 per block.
+    const double gum_small =
+        mbpta::fit_gumbel_block_maxima(small, 100).quantile(1e-10);
+    // What MBPTA actually delivers: tail fit with the empirical floor
+    // (the curve never undercuts an observation).
+    const double exp_sized = mbpta::PwcetCurve(sized).at(1e-12);
+
+    const bool covers = exp_sized >= hmax;
+    tac_sized_always_covers &= covers;
+    small_exp_misses += exp_small < hmax;
+    table.add_row({name, fmt(hmax, 0), fmt(exp_small, 0), fmt(gum_small, 0),
+                   std::to_string(tac_res.required_runs), fmt(exp_sized, 0),
+                   covers ? "yes" : "NO"});
+  }
+  bench::print_table(opt, table);
+  std::cout << "\nunder-sized fits under-bounded the hold-out max on "
+            << small_exp_misses
+            << " benchmark(s) — the representativeness problem the paper "
+               "attacks;\nTAC-sized campaigns cover everywhere: "
+            << (tac_sized_always_covers ? "YES" : "NO") << "\n";
+  return tac_sized_always_covers ? 0 : 1;
+}

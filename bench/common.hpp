@@ -1,0 +1,71 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench accepts:
+//   --scale S   multiplies the ground-truth campaign sizes (default 1 =
+//               laptop-sized; the paper-scale counts are reported per bench)
+//   --paper 1   shortcut for the paper's original sample sizes
+//   --seed N    master seed (default 42)
+//   --csv 1     machine-readable output where applicable
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace mbcr::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+  bool paper = false;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv,
+                                  const std::string& description) {
+  Cli cli(argc, argv,
+          {{"scale", "1"}, {"paper", "0"}, {"seed", "42"}, {"csv", "0"}},
+          description);
+  BenchOptions opt;
+  opt.scale = cli.real("scale");
+  opt.paper = cli.flag("paper");
+  opt.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  opt.csv = cli.flag("csv");
+  return opt;
+}
+
+/// Ground-truth campaign size: `laptop` at scale 1, the paper's count with
+/// --paper.
+inline std::size_t scaled_runs(const BenchOptions& opt, std::size_t laptop,
+                               std::size_t paper_count) {
+  if (opt.paper) return paper_count;
+  const double r = static_cast<double>(laptop) * opt.scale;
+  return static_cast<std::size_t>(r < 1.0 ? 1.0 : r);
+}
+
+/// The analysis configuration used by the evaluation benches: the paper's
+/// platform (4KB 2-way 32B L1s, random placement + replacement) and its
+/// certification probability (1e-12).
+inline core::AnalysisConfig paper_config(const BenchOptions& opt) {
+  core::AnalysisConfig cfg;
+  cfg.campaign.master_seed = opt.seed;
+  cfg.convergence.max_runs = 200'000;
+  cfg.tac.max_runs_cap = 600'000;
+  cfg.pwcet_probability = 1e-12;
+  return cfg;
+}
+
+inline void print_table(const BenchOptions& opt, const AsciiTable& table) {
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace mbcr::bench

@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulator hot
+// paths. These bound the wall-clock cost of the measurement campaigns the
+// method needs (hundreds of thousands of runs per benchmark).
+#include <benchmark/benchmark.h>
+
+#include "cache/random_cache.hpp"
+#include "ir/interp.hpp"
+#include "platform/campaign.hpp"
+#include "pub/pub_transform.hpp"
+#include "suite/malardalen.hpp"
+#include "tac/runs.hpp"
+
+namespace {
+
+using namespace mbcr;
+
+void BM_RandomCacheAccess(benchmark::State& state) {
+  RandomCache cache(CacheConfig::paper_l1(), 1, 2);
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access_line(line));
+    line = (line + 7) & 127;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomCacheAccess);
+
+void BM_MachineRunOnce(benchmark::State& state) {
+  const auto b = suite::make_benchmark(
+      state.range(0) == 0 ? "bs" : state.range(0) == 1 ? "crc" : "matmult");
+  const auto trace = CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+  const platform::Machine machine;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run_once(trace, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+  state.SetLabel(b.name + " (" + std::to_string(trace.size()) + " accesses)");
+}
+BENCHMARK(BM_MachineRunOnce)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ParallelCampaign(benchmark::State& state) {
+  const auto b = suite::make_benchmark("ns");
+  const auto trace = CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+  const platform::Machine machine;
+  const auto runs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::run_campaign(machine, trace, runs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(runs * trace.size()));
+}
+BENCHMARK(BM_ParallelCampaign)->Arg(1000)->Arg(10000);
+
+void BM_InterpreterTrace(benchmark::State& state) {
+  const auto b = suite::make_benchmark("crc");
+  const ir::Linked linked = ir::lower(b.program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ir::execute(b.program, linked, b.default_input));
+  }
+}
+BENCHMARK(BM_InterpreterTrace);
+
+void BM_PubTransform(benchmark::State& state) {
+  const auto b = suite::make_benchmark("bs");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pub::apply_pub(b.program));
+  }
+}
+BENCHMARK(BM_PubTransform);
+
+void BM_TacAnalysis(benchmark::State& state) {
+  const auto b = suite::make_benchmark("cnt");
+  const auto exec = ir::lower_and_execute(b.program, b.default_input);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tac::analyze_trace(exec.trace, CacheConfig::paper_l1(),
+                           CacheConfig::paper_l1(), 10000.0, 100.0));
+  }
+}
+BENCHMARK(BM_TacAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table 1: "BS. Execution Time Domain" — for each of bs's eight
+// maximum-iteration inputs v1..v15: the runs required by MBPTA convergence
+// on the pubbed path (R_pub), the runs required by PUB+TAC (R_p+t), and
+// the pWCET@1e-12 estimated from each campaign.
+//
+// Expected shapes (paper): R_p+t >= R_pub (often much larger); pWCET(P+T)
+// >= pWCET(PUB) when the larger campaign reveals tail events, with both
+// equal where R_pub already sufficed (paper's v5, v7).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "suite/malardalen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbcr;
+  const bench::BenchOptions opt = bench::parse_options(
+      argc, argv, "Table 1: bs per-input runs and pWCET@1e-12");
+
+  const auto b = suite::make_bs();
+  const core::Analyzer analyzer(bench::paper_config(opt));
+
+  std::cout << "Table 1 reproduction (runs in thousands, pWCET at 1e-12 "
+               "per run)\n\n";
+  AsciiTable table({"input", "R_pub (k)", "R_p+t (k)", "pWCET PUB",
+                    "pWCET P+T"});
+  bool shape_ok = true;
+  for (const auto& in : b.path_inputs) {
+    const core::PathAnalysis res = analyzer.analyze_pubbed(b.program, in);
+    const double pw_pub = res.pwcet_converged_only.at(1e-12);
+    const double pw_pt = res.pwcet.at(1e-12);
+    table.add_row({in.label, fmt_kruns(static_cast<double>(res.r_mbpta)),
+                   fmt_kruns(static_cast<double>(res.r_total)),
+                   fmt(pw_pub, 0), fmt(pw_pt, 0)});
+    shape_ok &= res.r_total >= res.r_mbpta;
+  }
+  bench::print_table(opt, table);
+  std::cout << "\nR_p+t >= R_pub for every input: "
+            << (shape_ok ? "YES (paper shape)" : "NO") << "\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Table 2: runs (in thousands) for plain MBPTA on the original program
+// (R_orig), MBPTA convergence on the pubbed program (R_pub), and PUB+TAC
+// (R_p+t), for all eleven Mälardalen benchmarks with default inputs.
+//
+// Expected shapes (paper Sec. 4.1): R_p+t >= R_pub in every row, often
+// much larger; no fixed relation between R_orig and R_pub (they are
+// different programs).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "suite/malardalen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mbcr;
+  const bench::BenchOptions opt = bench::parse_options(
+      argc, argv, "Table 2: R_orig / R_pub / R_p+t per benchmark");
+
+  const core::Analyzer analyzer(bench::paper_config(opt));
+
+  std::cout << "Table 2 reproduction (runs in thousands)\n\n";
+  AsciiTable table({"benchmark", "R_orig (k)", "R_pub (k)", "R_p+t (k)"});
+  bool shape_ok = true;
+  for (const auto& b : suite::malardalen_suite()) {
+    const core::PathAnalysis orig =
+        analyzer.analyze_original(b.program, b.default_input);
+    const core::PathAnalysis pub =
+        analyzer.analyze_pubbed(b.program, b.default_input);
+    table.add_row({b.name, fmt_kruns(static_cast<double>(orig.r_mbpta)),
+                   fmt_kruns(static_cast<double>(pub.r_mbpta)),
+                   fmt_kruns(static_cast<double>(pub.r_total))});
+    shape_ok &= pub.r_total >= pub.r_mbpta;
+    std::cerr << "  [" << b.name << " done: R_orig=" << orig.r_mbpta
+              << " R_pub=" << pub.r_mbpta << " R_p+t=" << pub.r_total
+              << "]\n";
+  }
+  bench::print_table(opt, table);
+  std::cout << "\nR_p+t >= R_pub on every benchmark: "
+            << (shape_ok ? "YES (paper shape)" : "NO") << "\n"
+            << "paper values for reference (k): bs 1/1/40, cnt 10/2/70, "
+               "fir 6/9/600, janne 3/1/200, crc 3/5/10, edn 1/1/70,\n"
+            << "  insertsort 40/40/80, jfdct 2/2/50, matmult 200/200/200, "
+               "fdct 8/8/8, ns 3/3/500\n";
+  return shape_ok ? 0 : 1;
+}

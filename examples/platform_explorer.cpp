@@ -1,0 +1,76 @@
+// Platform exploration: how campaign size interacts with rare cache
+// layouts (the mechanism behind the paper's Fig. 4 knee).
+//
+// A synthetic kernel cycles through 5 hot lines on a small 8-set 4-way
+// randomized data cache. With probability (1/8)^4 ~ 2.4e-4 all five lines
+// land in one set and the run thrashes. Small campaigns rarely see it;
+// TAC sizes the campaign so missing it has probability < 1e-9.
+//
+// Build & run:  ./build/examples/platform_explorer
+#include <algorithm>
+#include <iostream>
+
+#include "core/analyzer.hpp"
+#include "ir/interp.hpp"
+#include "mbpta/eccdf.hpp"
+#include "tac/runs.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mbcr;
+  using namespace mbcr::ir;
+
+  Program p;
+  p.name = "hotlines";
+  p.arrays.push_back({"buf", 40, {}});
+  p.scalars = {"i", "r", "acc"};
+  p.body = seq({
+      assign("acc", cst(0)),
+      for_loop("r", cst(0), var("r") < cst(300), 1,
+               for_loop("i", cst(0), var("i") < cst(5), 1,
+                        assign("acc", var("acc") + ld("buf", var("i") * cst(8))),
+                        5),
+               300),
+  });
+  validate(p);
+
+  core::AnalysisConfig cfg;
+  cfg.machine.dl1 = CacheConfig::example_s8w4();  // S=8, W=4
+  cfg.machine.il1 = CacheConfig{256, 4, 32};      // keep the icache quiet
+  const core::Analyzer analyzer(cfg);
+
+  // TAC's prediction for this trace.
+  const ExecResult exec = lower_and_execute(p, {});
+  const auto tac_res =
+      tac::analyze_trace(exec.trace, cfg.machine.il1, cfg.machine.dl1,
+                         /*baseline_cycles=*/30000.0,
+                         static_cast<double>(cfg.machine.timing.mem_latency));
+  std::cout << "TAC: conflict events on the data side: "
+            << tac_res.dl1.events.size() << ", required runs = "
+            << tac_res.dl1.required_runs
+            << "  (analytic: ln(1e-9)/ln(1-(1/8)^4) ~ 84873)\n\n";
+
+  // What campaigns of different sizes actually observe.
+  AsciiTable table({"campaign runs", "max observed", "knee seen?"});
+  const auto big = analyzer.measure(p, {}, tac_res.dl1.required_runs);
+  const double knee_level = *std::max_element(big.begin(), big.end()) * 0.8;
+  for (std::size_t runs : {500u, 2000u, 10000u, 40000u}) {
+    const auto times = analyzer.measure(p, {}, runs);
+    const double mx = *std::max_element(times.begin(), times.end());
+    table.add_row({std::to_string(runs), fmt(mx, 0),
+                   mx >= knee_level ? "yes" : "NO"});
+  }
+  table.add_row({std::to_string(big.size()) + " (TAC)",
+                 fmt(*std::max_element(big.begin(), big.end()), 0), "yes"});
+  table.print(std::cout);
+
+  const mbpta::Eccdf ecc(big);
+  std::cout << "\nECCDF of the TAC-sized campaign: median "
+            << fmt(ecc.value_at_exceedance(0.5), 0) << ", p1e-3 "
+            << fmt(ecc.value_at_exceedance(1e-3), 0) << ", p1e-4 "
+            << fmt(ecc.value_at_exceedance(1e-4), 0) << ", max "
+            << fmt(ecc.max(), 0)
+            << "\n(the jump past p~2.4e-4 is the co-mapped layout — the "
+               "'knee' of the paper's Fig. 4)\n";
+  return 0;
+}

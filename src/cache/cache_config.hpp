@@ -1,0 +1,36 @@
+// Geometry of a set-associative cache.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "mem/address.hpp"
+
+namespace mbcr {
+
+struct CacheConfig {
+  std::uint32_t sets = 64;   ///< paper evaluation: 4KB / 32B / 2 ways = 64
+  std::uint32_t ways = 2;
+  Addr line_bytes = kDefaultLineBytes;
+
+  std::uint64_t size_bytes() const {
+    return static_cast<std::uint64_t>(sets) * ways * line_bytes;
+  }
+
+  void validate() const {
+    if (sets == 0 || ways == 0 || line_bytes == 0) {
+      throw std::invalid_argument("cache dimensions must be non-zero");
+    }
+    if ((line_bytes & (line_bytes - 1)) != 0) {
+      throw std::invalid_argument("line size must be a power of two");
+    }
+  }
+
+  /// The paper's evaluation platform: 4KB, 2-way, 32B lines (Sec. 4).
+  static CacheConfig paper_l1() { return CacheConfig{64, 2, 32}; }
+
+  /// The small illustrative geometry of Sec. 3.1: S=8, W=4.
+  static CacheConfig example_s8w4() { return CacheConfig{8, 4, 32}; }
+};
+
+}  // namespace mbcr

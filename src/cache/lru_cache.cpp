@@ -1,0 +1,40 @@
+#include "cache/lru_cache.hpp"
+
+namespace mbcr {
+
+LruCache::LruCache(const CacheConfig& config)
+    : config_(config),
+      tags_(static_cast<std::size_t>(config.sets) * config.ways, kInvalid) {
+  config_.validate();
+}
+
+bool LruCache::access(Addr addr) {
+  return access_line(line_of(addr, config_.line_bytes));
+}
+
+bool LruCache::access_line(Addr line) {
+  const std::uint32_t set = set_of_line(line);
+  Addr* base = tags_.data() + static_cast<std::size_t>(set) * config_.ways;
+  // Ways are kept in MRU-first order; a hit rotates the line to the front,
+  // a miss evicts the last (LRU) way.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w] == line) {
+      for (std::uint32_t i = w; i > 0; --i) base[i] = base[i - 1];
+      base[0] = line;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  for (std::uint32_t i = config_.ways - 1; i > 0; --i) base[i] = base[i - 1];
+  base[0] = line;
+  return false;
+}
+
+void LruCache::flush() {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mbcr

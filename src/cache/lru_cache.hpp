@@ -1,0 +1,47 @@
+// Time-deterministic baseline: modulo placement + true-LRU replacement.
+//
+// The paper (Sec. 2) stresses that PUB's monotonicity property — inserting
+// an access can only worsen the timing distribution — holds for
+// time-randomized caches but *not* for LRU: e.g. in a 2-way cache, the
+// sequence {A B C A} misses 4 times while {A B A C A} misses only 3. We
+// implement LRU so tests and an ablation bench can demonstrate exactly that
+// violation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "mem/address.hpp"
+
+namespace mbcr {
+
+class LruCache {
+public:
+  explicit LruCache(const CacheConfig& config);
+
+  /// Looks up the line containing `addr`; allocates on miss; returns hit.
+  bool access(Addr addr);
+  bool access_line(Addr line);
+
+  void flush();
+
+  std::uint32_t set_of_line(Addr line) const {
+    return static_cast<std::uint32_t>(line % config_.sets);
+  }
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+private:
+  CacheConfig config_;
+  // Per set: ways ordered most-recently-used first.
+  std::vector<Addr> tags_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  static constexpr Addr kInvalid = ~Addr{0};
+};
+
+}  // namespace mbcr

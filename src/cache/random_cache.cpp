@@ -1,0 +1,45 @@
+#include "cache/random_cache.hpp"
+
+namespace mbcr {
+
+RandomCache::RandomCache(const CacheConfig& config,
+                         std::uint64_t placement_seed,
+                         std::uint64_t replacement_seed)
+    : config_(config),
+      placement_seed_(placement_seed),
+      replacement_rng_(replacement_seed),
+      tags_(static_cast<std::size_t>(config.sets) * config.ways, kInvalid) {
+  config_.validate();
+}
+
+std::uint32_t RandomCache::set_of_line(Addr line) const {
+  return static_cast<std::uint32_t>(mix64(line, placement_seed_) %
+                                    config_.sets);
+}
+
+bool RandomCache::access(Addr addr) {
+  return access_line(line_of(addr, config_.line_bytes));
+}
+
+bool RandomCache::access_line(Addr line) {
+  const std::uint32_t set = set_of_line(line);
+  Addr* base = tags_.data() + static_cast<std::size_t>(set) * config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w] == line) {
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  const std::uint32_t victim = replacement_rng_.uniform(config_.ways);
+  base[victim] = line;
+  return false;
+}
+
+void RandomCache::flush() {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace mbcr

@@ -1,0 +1,58 @@
+// Time-randomized set-associative cache: seeded-hash random placement plus
+// uniform random replacement. This is the MBPTA-compliant cache design the
+// paper's platform relies on (Kosmidis et al., "Fitting processor
+// architectures for measurement-based probabilistic timing analysis").
+//
+// Random placement: a per-run seed drives a mixing hash from line address to
+// set index, so each memory object lands in an independently (pseudo-)
+// uniformly chosen set on every run — this is what gives cache layouts the
+// `(1/S)^(k-1)` probabilities TAC reasons about.
+// Random replacement: on a miss, the victim way is drawn uniformly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "mem/address.hpp"
+#include "util/rng.hpp"
+
+namespace mbcr {
+
+class RandomCache {
+public:
+  /// `placement_seed` fixes the address-to-set mapping for this run;
+  /// `replacement_seed` seeds the victim-choice stream.
+  RandomCache(const CacheConfig& config, std::uint64_t placement_seed,
+              std::uint64_t replacement_seed);
+
+  /// Looks up the line containing `addr`; allocates it on a miss.
+  /// Returns true on hit.
+  bool access(Addr addr);
+
+  /// Looks up a pre-computed line number (addr / line_bytes).
+  bool access_line(Addr line);
+
+  /// Invalidates all contents (the platform flushes caches before each run).
+  void flush();
+
+  /// The set `line` maps to under this run's placement seed.
+  std::uint32_t set_of_line(Addr line) const;
+
+  const CacheConfig& config() const { return config_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+private:
+  CacheConfig config_;
+  std::uint64_t placement_seed_;
+  Xoshiro256 replacement_rng_;
+  // tags_[set * ways + way] holds the line number or kInvalid.
+  std::vector<Addr> tags_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+
+  static constexpr Addr kInvalid = ~Addr{0};
+};
+
+}  // namespace mbcr

@@ -1,0 +1,126 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/rng.hpp"
+
+#include "util/stats.hpp"
+
+namespace mbcr::core {
+
+Analyzer::Analyzer(AnalysisConfig config)
+    : config_(std::move(config)), machine_(config_.machine) {}
+
+PathAnalysis Analyzer::analyze_program(const ir::Program& program,
+                                       const ir::InputVector& input,
+                                       bool with_tac) const {
+  PathAnalysis out;
+  out.program_name = program.name;
+  out.input_label = input.label;
+
+  // 1. One functional execution gives the path's address trace.
+  const ir::ExecResult exec = ir::lower_and_execute(program, input);
+  const CompactTrace trace = CompactTrace::from(exec.trace);
+  out.trace_accesses = trace.size();
+
+  // 2. Probe campaign: typical execution time (anchors TAC's threshold).
+  {
+    platform::CampaignConfig probe_cfg = config_.campaign;
+    probe_cfg.master_seed = mix64(0x9b0be, config_.campaign.master_seed);
+    const std::vector<double> probe = platform::run_campaign(
+        machine_, trace, config_.baseline_probe_runs, probe_cfg);
+    out.baseline_cycles = mean(probe);
+  }
+
+  // 3. TAC on the trace (both cache sides).
+  if (with_tac) {
+    out.tac = tac::analyze_trace(
+        exec.trace, config_.machine.il1, config_.machine.dl1,
+        out.baseline_cycles,
+        static_cast<double>(config_.machine.timing.mem_latency), config_.tac);
+    out.r_tac = out.tac.required_runs;
+  }
+
+  // 4. MBPTA convergence on the same deterministic run sequence.
+  platform::CampaignSampler sampler(machine_, trace, config_.campaign);
+  mbpta::ConvergenceConfig conv = config_.convergence;
+  conv.probability = config_.pwcet_probability;
+  mbpta::ConvergenceResult convergence = mbpta::converge(
+      [&sampler](std::size_t k) { return sampler(k); }, conv);
+  out.r_mbpta = convergence.runs;
+
+  // 5. Extend the campaign to the TAC-required size, then fit pWCETs.
+  out.r_total = std::max(out.r_mbpta, out.r_tac);
+  if (convergence.sample.size() < out.r_total) {
+    const std::vector<double> extra =
+        sampler(out.r_total - convergence.sample.size());
+    convergence.sample.insert(convergence.sample.end(), extra.begin(),
+                              extra.end());
+  }
+  out.pwcet_converged_only = mbpta::PwcetCurve(
+      std::span<const double>(convergence.sample.data(), out.r_mbpta),
+      conv.evt);
+  out.pwcet = mbpta::PwcetCurve(convergence.sample, conv.evt);
+  // Architectural ceiling: no run can cost more than every access missing.
+  const TimingParams& t = config_.machine.timing;
+  double ceiling = 0;
+  for (const CompactTrace::Entry& e : trace.entries) {
+    ceiling += static_cast<double>(
+        t.cost(e.is_instr ? AccessKind::kIFetch : AccessKind::kLoad, false));
+  }
+  out.pwcet.set_upper_bound(ceiling);
+  out.pwcet_converged_only.set_upper_bound(ceiling);
+  return out;
+}
+
+PathAnalysis Analyzer::analyze_original(const ir::Program& program,
+                                        const ir::InputVector& input) const {
+  return analyze_program(program, input, /*with_tac=*/false);
+}
+
+PathAnalysis Analyzer::analyze_pubbed(const ir::Program& program,
+                                      const ir::InputVector& input,
+                                      bool with_tac) const {
+  const ir::Program pubbed = pub::apply_pub(program, config_.pub);
+  return analyze_program(pubbed, input, with_tac);
+}
+
+double Analyzer::MultiPathAnalysis::pwcet_at(double p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const PathAnalysis& a : per_path) {
+    best = std::min(best, a.pwcet.at(p));
+  }
+  return per_path.empty() ? 0.0 : best;
+}
+
+std::size_t Analyzer::MultiPathAnalysis::tightest_path(double p) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < per_path.size(); ++i) {
+    if (per_path[i].pwcet.at(p) < per_path[best].pwcet.at(p)) best = i;
+  }
+  return best;
+}
+
+Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(
+    const ir::Program& program, const std::vector<ir::InputVector>& inputs,
+    bool with_tac) const {
+  // PUB is applied once; each input then measures one pubbed path.
+  const ir::Program pubbed = pub::apply_pub(program, config_.pub);
+  MultiPathAnalysis out;
+  out.per_path.reserve(inputs.size());
+  for (const ir::InputVector& input : inputs) {
+    out.per_path.push_back(analyze_program(pubbed, input, with_tac));
+  }
+  return out;
+}
+
+std::vector<double> Analyzer::measure(const ir::Program& program,
+                                      const ir::InputVector& input,
+                                      std::size_t runs) const {
+  const ir::ExecResult exec = ir::lower_and_execute(program, input);
+  const CompactTrace trace = CompactTrace::from(exec.trace);
+  return platform::run_campaign(machine_, trace, runs, config_.campaign);
+}
+
+}  // namespace mbcr::core

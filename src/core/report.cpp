@@ -1,0 +1,44 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace mbcr::core {
+
+void print_path_analysis(std::ostream& os, const PathAnalysis& analysis,
+                         double probability) {
+  os << analysis.program_name << " [" << analysis.input_label << "]  "
+     << "trace=" << analysis.trace_accesses << " accesses, "
+     << "typical=" << fmt(analysis.baseline_cycles, 0) << " cycles\n";
+  os << "  runs: R_mbpta=" << analysis.r_mbpta
+     << "  R_tac=" << analysis.r_tac << "  R_total=" << analysis.r_total
+     << "\n";
+  if (!analysis.tac.il1.events.empty() || !analysis.tac.dl1.events.empty()) {
+    auto dump_side = [&](const char* side, const tac::TacSequenceResult& r) {
+      for (const auto& ev : r.events) {
+        os << "  tac[" << side << "]: k=" << ev.group_size
+           << " combos=" << fmt(ev.combination_count, 0)
+           << " extra_misses=" << fmt(ev.extra_misses, 1)
+           << " p=" << ev.probability << " -> R=" << ev.required_runs
+           << "\n";
+      }
+    };
+    dump_side("IL1", analysis.tac.il1);
+    dump_side("DL1", analysis.tac.dl1);
+  }
+  os << "  pWCET@" << probability << " = "
+     << fmt(analysis.pwcet.at(probability), 0) << " cycles ("
+     << (analysis.pwcet.iid().passed() ? "iid ok" : "iid suspect") << ", "
+     << (analysis.pwcet.tail().cv_accepted ? "CV ok" : "CV forced") << ")\n";
+}
+
+void print_pwcet_curve(std::ostream& os, const mbpta::PwcetCurve& curve,
+                       int max_exp) {
+  os << "exceedance_prob,pwcet_cycles\n";
+  for (const auto& [p, v] : curve.curve(max_exp)) {
+    os << p << "," << fmt(v, 0) << "\n";
+  }
+}
+
+}  // namespace mbcr::core

@@ -1,0 +1,19 @@
+// Human-readable reporting of analysis results (shared by benches and
+// examples).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/analyzer.hpp"
+
+namespace mbcr::core {
+
+/// One-path summary block: runs, TAC events, pWCET probes.
+void print_path_analysis(std::ostream& os, const PathAnalysis& analysis,
+                         double probability = 1e-12);
+
+/// Prints a pWCET curve as "p  pWCET" rows down to `max_exp`.
+void print_pwcet_curve(std::ostream& os, const mbpta::PwcetCurve& curve,
+                       int max_exp = 15);
+
+}  // namespace mbcr::core

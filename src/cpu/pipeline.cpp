@@ -1,0 +1,14 @@
+#include "cpu/pipeline.hpp"
+
+// execute_trace is a template; explicit instantiations for the two cache
+// pairings used across the project keep call sites' compile times down and
+// give the linker a home for this translation unit.
+namespace mbcr {
+
+template std::uint64_t execute_trace<RandomCache, RandomCache>(
+    const MemTrace&, RandomCache&, RandomCache&, const TimingParams&);
+template std::uint64_t execute_trace<LruCache, LruCache>(const MemTrace&,
+                                                         LruCache&, LruCache&,
+                                                         const TimingParams&);
+
+}  // namespace mbcr

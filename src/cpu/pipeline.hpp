@@ -1,0 +1,46 @@
+// Cycle-cost model of a pipelined in-order core (paper Sec. 4).
+//
+// Single-issue, in-order: every instruction pays one issue cycle; an IL1
+// miss stalls fetch for the memory latency; a data access pays the DL1 hit
+// latency, plus the memory latency on a miss. This is deliberately simple —
+// MBPTA treats the core as a black box and all timing variability in the
+// modeled platform comes from the randomized caches, exactly as on the
+// paper's platform where the pipeline is deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/lru_cache.hpp"
+#include "cache/random_cache.hpp"
+#include "cpu/trace.hpp"
+
+namespace mbcr {
+
+struct TimingParams {
+  std::uint64_t issue_cycles = 1;     ///< per instruction fetch/issue
+  std::uint64_t dl1_hit_cycles = 1;   ///< data access, L1 hit
+  std::uint64_t mem_latency = 100;    ///< extra cycles on any L1 miss
+
+  /// Cycle cost of one access given its hit/miss outcome.
+  std::uint64_t cost(AccessKind kind, bool hit) const {
+    const std::uint64_t base =
+        (kind == AccessKind::kIFetch) ? issue_cycles : dl1_hit_cycles;
+    return base + (hit ? 0 : mem_latency);
+  }
+};
+
+/// Runs `trace` through the given caches and returns total cycles.
+/// Works with any cache type exposing `access(Addr) -> bool`.
+template <typename ICache, typename DCache>
+std::uint64_t execute_trace(const MemTrace& trace, ICache& il1, DCache& dl1,
+                            const TimingParams& timing) {
+  std::uint64_t cycles = 0;
+  for (const Access& a : trace.accesses) {
+    const bool hit =
+        a.is_instruction() ? il1.access(a.addr) : dl1.access(a.addr);
+    cycles += timing.cost(a.kind, hit);
+  }
+  return cycles;
+}
+
+}  // namespace mbcr

@@ -1,0 +1,63 @@
+#include "cpu/trace.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mbcr {
+
+std::vector<Addr> MemTrace::line_sequence(bool instruction_side,
+                                          Addr line_bytes) const {
+  std::vector<Addr> out;
+  out.reserve(accesses.size());
+  for (const Access& a : accesses) {
+    if (a.is_instruction() == instruction_side) {
+      out.push_back(line_of(a.addr, line_bytes));
+    }
+  }
+  return out;
+}
+
+std::size_t MemTrace::unique_lines(bool instruction_side,
+                                   Addr line_bytes) const {
+  std::unordered_set<Addr> lines;
+  for (const Access& a : accesses) {
+    if (a.is_instruction() == instruction_side) {
+      lines.insert(line_of(a.addr, line_bytes));
+    }
+  }
+  return lines.size();
+}
+
+CompactTrace CompactTrace::from(const MemTrace& trace, Addr line_bytes) {
+  CompactTrace out;
+  out.entries.reserve(trace.accesses.size());
+  std::unordered_map<Addr, std::uint32_t> imap;
+  std::unordered_map<Addr, std::uint32_t> dmap;
+  for (const Access& a : trace.accesses) {
+    const Addr line = line_of(a.addr, line_bytes);
+    if (a.is_instruction()) {
+      auto [it, inserted] =
+          imap.try_emplace(line, static_cast<std::uint32_t>(out.ilines.size()));
+      if (inserted) out.ilines.push_back(line);
+      out.entries.push_back({it->second, 1});
+    } else {
+      auto [it, inserted] =
+          dmap.try_emplace(line, static_cast<std::uint32_t>(out.dlines.size()));
+      if (inserted) out.dlines.push_back(line);
+      out.entries.push_back({it->second, 0});
+    }
+  }
+  return out;
+}
+
+bool is_subsequence(std::span<const Addr> needle,
+                    std::span<const Addr> haystack) {
+  std::size_t i = 0;
+  for (Addr x : haystack) {
+    if (i == needle.size()) return true;
+    if (needle[i] == x) ++i;
+  }
+  return i == needle.size();
+}
+
+}  // namespace mbcr

@@ -1,0 +1,55 @@
+// Memory-access traces and their compact replay form.
+//
+// The interpreter produces a `MemTrace` (full byte addresses) once per
+// (program, input). Measurement campaigns then replay the trace hundreds of
+// thousands of times under fresh random placements; `CompactTrace`
+// pre-resolves every access to a dense per-cache line id so replay is a
+// table lookup instead of a hash per access.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace mbcr {
+
+struct MemTrace {
+  std::vector<Access> accesses;
+
+  void emit(Addr addr, AccessKind kind) { accesses.push_back({addr, kind}); }
+  std::size_t size() const { return accesses.size(); }
+
+  /// Cache-line sequence for one side (instruction or data accesses).
+  std::vector<Addr> line_sequence(bool instruction_side,
+                                  Addr line_bytes = kDefaultLineBytes) const;
+
+  /// Distinct cache lines touched on one side.
+  std::size_t unique_lines(bool instruction_side,
+                           Addr line_bytes = kDefaultLineBytes) const;
+};
+
+/// Replay-optimized trace: every access becomes (side, dense line id).
+struct CompactTrace {
+  struct Entry {
+    std::uint32_t line_id;
+    std::uint8_t is_instr;  // 1 = IL1, 0 = DL1
+  };
+
+  std::vector<Entry> entries;
+  std::vector<Addr> ilines;  ///< line number per IL1 dense id
+  std::vector<Addr> dlines;  ///< line number per DL1 dense id
+
+  static CompactTrace from(const MemTrace& trace,
+                           Addr line_bytes = kDefaultLineBytes);
+
+  std::size_t size() const { return entries.size(); }
+};
+
+/// True iff `needle` is a subsequence of `haystack` (order-preserving,
+/// not necessarily contiguous). Used to verify the PUB invariant.
+bool is_subsequence(std::span<const Addr> needle,
+                    std::span<const Addr> haystack);
+
+}  // namespace mbcr

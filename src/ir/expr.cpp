@@ -1,0 +1,147 @@
+#include "ir/expr.hpp"
+
+#include <sstream>
+
+namespace mbcr::ir {
+
+std::size_t Expr::op_count() const {
+  std::size_t n = 1;
+  if (a) n += a->op_count();
+  if (b) n += b->op_count();
+  if (c) n += c->op_count();
+  return n;
+}
+
+std::size_t Expr::load_count() const {
+  std::size_t n = (kind == Kind::kIndex) ? 1 : 0;
+  if (a) n += a->load_count();
+  if (b) n += b->load_count();
+  if (c) n += c->load_count();
+  return n;
+}
+
+ExprPtr cst(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kConst;
+  e->value = v;
+  return e;
+}
+
+ExprPtr var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr ld(std::string array, ExprPtr index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIndex;
+  e->name = std::move(array);
+  e->a = std::move(index);
+  return e;
+}
+
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kBin;
+  e->bin = op;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+ExprPtr un(UnOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kUn;
+  e->un = op;
+  e->a = std::move(operand);
+  return e;
+}
+
+ExprPtr select(ExprPtr cond, ExprPtr then_value, ExprPtr else_value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kSelect;
+  e->a = std::move(cond);
+  e->b = std::move(then_value);
+  e->c = std::move(else_value);
+  return e;
+}
+
+bool expr_equal(const ExprPtr& x, const ExprPtr& y) {
+  if (x == y) return true;
+  if (!x || !y) return false;
+  if (x->kind != y->kind) return false;
+  switch (x->kind) {
+    case Expr::Kind::kConst:
+      return x->value == y->value;
+    case Expr::Kind::kVar:
+      return x->name == y->name;
+    case Expr::Kind::kIndex:
+      return x->name == y->name && expr_equal(x->a, y->a);
+    case Expr::Kind::kBin:
+      return x->bin == y->bin && expr_equal(x->a, y->a) &&
+             expr_equal(x->b, y->b);
+    case Expr::Kind::kUn:
+      return x->un == y->un && expr_equal(x->a, y->a);
+    case Expr::Kind::kSelect:
+      return expr_equal(x->a, y->a) && expr_equal(x->b, y->b) &&
+             expr_equal(x->c, y->c);
+  }
+  return false;
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+  }
+  return "?";
+}
+
+std::string to_string(const ExprPtr& e) {
+  if (!e) return "<null>";
+  std::ostringstream ss;
+  switch (e->kind) {
+    case Expr::Kind::kConst:
+      ss << e->value;
+      break;
+    case Expr::Kind::kVar:
+      ss << e->name;
+      break;
+    case Expr::Kind::kIndex:
+      ss << e->name << "[" << to_string(e->a) << "]";
+      break;
+    case Expr::Kind::kBin:
+      ss << "(" << to_string(e->a) << " " << to_string(e->bin) << " "
+         << to_string(e->b) << ")";
+      break;
+    case Expr::Kind::kUn:
+      ss << (e->un == UnOp::kNeg ? "-" : e->un == UnOp::kLNot ? "!" : "~")
+         << to_string(e->a);
+      break;
+    case Expr::Kind::kSelect:
+      ss << "(" << to_string(e->a) << " ? " << to_string(e->b) << " : "
+         << to_string(e->c) << ")";
+      break;
+  }
+  return ss.str();
+}
+
+}  // namespace mbcr::ir

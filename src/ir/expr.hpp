@@ -1,0 +1,106 @@
+// Expression nodes of the program IR.
+//
+// The IR models the integer subset of C that the Mälardalen kernels use:
+// 64-bit signed scalars (kept in registers, so they generate no data
+// traffic) and named arrays (in memory, so element reads/writes generate
+// DL1 accesses). Expressions are immutable shared trees; `Select` models a
+// predicated/conditional-move expression that evaluates both operands
+// (single-path by construction, used by kernels the paper classifies as
+// single-path such as insertsort and ns).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace mbcr::ir {
+
+using Value = std::int64_t;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr, kBitAnd, kBitOr, kBitXor,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLAnd, kLOr,
+};
+
+enum class UnOp { kNeg, kLNot, kBitNot };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kConst, kVar, kIndex, kBin, kUn, kSelect };
+
+  Kind kind = Kind::kConst;
+  Value value = 0;        // kConst
+  std::string name;       // kVar: scalar name; kIndex: array name
+  BinOp bin = BinOp::kAdd;
+  UnOp un = UnOp::kNeg;
+  ExprPtr a;              // kBin lhs / kUn operand / kIndex index / kSelect cond
+  ExprPtr b;              // kBin rhs / kSelect then-value
+  ExprPtr c;              // kSelect else-value
+
+  /// Number of IR nodes; proxy for the instruction count of the expression.
+  std::size_t op_count() const;
+
+  /// Number of array-element reads this expression performs when evaluated.
+  std::size_t load_count() const;
+};
+
+// --- constructors ---------------------------------------------------------
+
+ExprPtr cst(Value v);
+ExprPtr var(std::string name);
+/// Array element read: `array[index]`.
+ExprPtr ld(std::string array, ExprPtr index);
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr un(UnOp op, ExprPtr operand);
+/// Predicated expression: evaluates cond, then-value and else-value
+/// unconditionally (conditional move), returns one of the two values.
+ExprPtr select(ExprPtr cond, ExprPtr then_value, ExprPtr else_value);
+
+/// Structural equality (used by the SCS merge in PUB).
+bool expr_equal(const ExprPtr& x, const ExprPtr& y);
+
+std::string to_string(const ExprPtr& e);
+std::string to_string(BinOp op);
+
+// --- named builders for operators std::shared_ptr already owns ------------
+//
+// `ExprPtr` is a shared_ptr alias, and shared_ptr defines ==, !=, and
+// (contextual) bool conversion with pointer semantics that generic code
+// relies on (`if (!e)`, `if (x == y)`). Overloading those for the DSL
+// would silently hijack null-checks and pointer comparisons across the
+// codebase, so equality/logic get named builders instead.
+
+inline ExprPtr eq(ExprPtr l, ExprPtr r) { return bin(BinOp::kEq, std::move(l), std::move(r)); }
+inline ExprPtr ne(ExprPtr l, ExprPtr r) { return bin(BinOp::kNe, std::move(l), std::move(r)); }
+inline ExprPtr land(ExprPtr l, ExprPtr r) { return bin(BinOp::kLAnd, std::move(l), std::move(r)); }
+inline ExprPtr lor(ExprPtr l, ExprPtr r) { return bin(BinOp::kLOr, std::move(l), std::move(r)); }
+inline ExprPtr lnot(ExprPtr x) { return un(UnOp::kLNot, std::move(x)); }
+inline ExprPtr neg(ExprPtr x) { return un(UnOp::kNeg, std::move(x)); }
+
+// --- operator sugar for benchmark definitions -----------------------------
+//
+// These operators have no std::shared_ptr counterpart (or only template
+// ones that our exact-match overloads cannot shadow for other types), so
+// they are safe to define on ExprPtr directly.
+
+inline ExprPtr operator+(ExprPtr l, ExprPtr r) { return bin(BinOp::kAdd, std::move(l), std::move(r)); }
+inline ExprPtr operator-(ExprPtr l, ExprPtr r) { return bin(BinOp::kSub, std::move(l), std::move(r)); }
+inline ExprPtr operator*(ExprPtr l, ExprPtr r) { return bin(BinOp::kMul, std::move(l), std::move(r)); }
+inline ExprPtr operator/(ExprPtr l, ExprPtr r) { return bin(BinOp::kDiv, std::move(l), std::move(r)); }
+inline ExprPtr operator%(ExprPtr l, ExprPtr r) { return bin(BinOp::kMod, std::move(l), std::move(r)); }
+inline ExprPtr operator<(ExprPtr l, ExprPtr r) { return bin(BinOp::kLt, std::move(l), std::move(r)); }
+inline ExprPtr operator<=(ExprPtr l, ExprPtr r) { return bin(BinOp::kLe, std::move(l), std::move(r)); }
+inline ExprPtr operator>(ExprPtr l, ExprPtr r) { return bin(BinOp::kGt, std::move(l), std::move(r)); }
+inline ExprPtr operator>=(ExprPtr l, ExprPtr r) { return bin(BinOp::kGe, std::move(l), std::move(r)); }
+inline ExprPtr operator&(ExprPtr l, ExprPtr r) { return bin(BinOp::kBitAnd, std::move(l), std::move(r)); }
+inline ExprPtr operator|(ExprPtr l, ExprPtr r) { return bin(BinOp::kBitOr, std::move(l), std::move(r)); }
+inline ExprPtr operator^(ExprPtr l, ExprPtr r) { return bin(BinOp::kBitXor, std::move(l), std::move(r)); }
+inline ExprPtr operator<<(ExprPtr l, ExprPtr r) { return bin(BinOp::kShl, std::move(l), std::move(r)); }
+inline ExprPtr operator>>(ExprPtr l, ExprPtr r) { return bin(BinOp::kShr, std::move(l), std::move(r)); }
+inline ExprPtr operator-(ExprPtr x) { return un(UnOp::kNeg, std::move(x)); }
+
+}  // namespace mbcr::ir

@@ -1,0 +1,83 @@
+#include "ir/lower.hpp"
+
+#include <string>
+
+namespace mbcr::ir {
+
+namespace {
+
+class Lowerer {
+public:
+  Lowerer(Linked& out, Addr code_base) : out_(out), cursor_(code_base) {}
+
+  void walk(const StmtPtr& s) {
+    switch (s->kind) {
+      case Stmt::Kind::kSeq:
+        for (const auto& c : s->children) walk(c);
+        break;
+      case Stmt::Kind::kAssign:
+        // move/aluop per expression node plus the register write.
+        emit(Linked::slot_self(s->id), 1 + s->value->op_count());
+        break;
+      case Stmt::Kind::kStore:
+        emit(Linked::slot_self(s->id),
+             1 + s->value->op_count() + s->index->op_count());
+        break;
+      case Stmt::Kind::kIf:
+        // compare + branch instructions.
+        emit(Linked::slot_cond(s->id), 1 + s->cond->op_count());
+        for (const auto& c : s->children) walk(c);
+        break;
+      case Stmt::Kind::kFor:
+        emit(Linked::slot_init(s->id), 1 + s->init->op_count());
+        emit(Linked::slot_cond(s->id), 1 + s->cond->op_count());
+        walk(s->children.at(0));
+        emit(Linked::slot_step(s->id), 2);  // add + back-branch
+        break;
+      case Stmt::Kind::kWhile:
+        emit(Linked::slot_cond(s->id), 1 + s->cond->op_count());
+        walk(s->children.at(0));
+        break;
+      case Stmt::Kind::kGhost:
+        walk(s->children.at(0));
+        break;
+      case Stmt::Kind::kNop:
+        break;
+    }
+  }
+
+  Addr cursor() const { return cursor_; }
+
+private:
+  void emit(std::uint64_t key, std::size_t n_instr) {
+    out_.code.emplace(
+        key, CodeSpan{cursor_, static_cast<std::uint32_t>(n_instr)});
+    cursor_ += static_cast<Addr>(n_instr) * kInstrBytes;
+  }
+
+  Linked& out_;
+  Addr cursor_;
+};
+
+}  // namespace
+
+Linked lower(const Program& program, Addr code_base, Addr data_base) {
+  validate(program);
+  Linked out;
+  out.layout = MemoryLayout(code_base, data_base);
+
+  Lowerer lowerer(out, code_base);
+  lowerer.walk(program.body);
+  const Addr code_bytes = lowerer.cursor() - code_base;
+  if (code_bytes > 0) {
+    out.layout.alloc_code(program.name + ".text", code_bytes, 4);
+  }
+
+  for (const ArrayDecl& a : program.arrays) {
+    out.array_base[a.name] =
+        out.layout.alloc_data(a.name, static_cast<Addr>(a.size) * 4, 4);
+  }
+  return out;
+}
+
+}  // namespace mbcr::ir

@@ -1,0 +1,50 @@
+// Lowering: assigns code addresses to statements and data addresses to
+// arrays — the "link-time layout" whose interaction with cache placement
+// the paper's method reasons about.
+//
+// Code model: every leaf statement (assign/store), every branch/loop
+// condition, and every loop init/step compiles to a run of 4-byte
+// instructions whose count is proportional to the expression size. Blocks
+// are laid out in tree order, mirroring how a compiler emits structured
+// code. Ghost nodes own no code themselves but their cloned children do —
+// PUB genuinely inflates the text segment, which is why pubbed programs
+// can have *different* (not always larger) TAC run counts (paper Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/program.hpp"
+#include "mem/layout.hpp"
+
+namespace mbcr::ir {
+
+struct CodeSpan {
+  Addr base = 0;
+  std::uint32_t n_instr = 0;
+};
+
+/// Address assignment produced by `lower`.
+struct Linked {
+  MemoryLayout layout;
+  /// Code spans keyed by statement id. Conditions / inits / steps of
+  /// compound statements are keyed by sub-slot (see `slot` encoding below).
+  std::unordered_map<std::uint64_t, CodeSpan> code;
+  std::unordered_map<std::string, Addr> array_base;
+
+  /// Sub-slot keys: compound statements own several code blocks.
+  static std::uint64_t slot_cond(std::uint64_t id) { return id * 4 + 1; }
+  static std::uint64_t slot_init(std::uint64_t id) { return id * 4 + 2; }
+  static std::uint64_t slot_step(std::uint64_t id) { return id * 4 + 3; }
+  static std::uint64_t slot_self(std::uint64_t id) { return id * 4; }
+
+  const CodeSpan& span(std::uint64_t key) const { return code.at(key); }
+};
+
+inline constexpr Addr kInstrBytes = 4;
+
+/// Lays out `program` starting at the given segment bases.
+Linked lower(const Program& program, Addr code_base = 0x0000'1000,
+             Addr data_base = 0x0001'0000);
+
+}  // namespace mbcr::ir

@@ -1,0 +1,49 @@
+#include "ir/paths.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace mbcr::ir {
+
+std::uint64_t PathSignature::hash() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  for (const auto& [id, outcome] : events) {
+    h = mix64(h ^ id, 0x13198a2e03707344ULL);
+    h = mix64(h ^ outcome, 0xa4093822299f31d0ULL);
+  }
+  return h;
+}
+
+std::string PathSignature::to_string() const {
+  std::ostringstream ss;
+  for (const auto& [id, outcome] : events) {
+    ss << id << ":" << outcome << " ";
+  }
+  return ss.str();
+}
+
+std::vector<std::uint64_t> PathSignature::outcomes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(events.size());
+  for (const auto& [id, outcome] : events) out.push_back(outcome);
+  return out;
+}
+
+std::vector<std::size_t> distinct_paths(
+    const std::vector<PathSignature>& paths) {
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    bool duplicate = false;
+    for (std::size_t j : kept) {
+      if (paths[j] == paths[i]) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) kept.push_back(i);
+  }
+  return kept;
+}
+
+}  // namespace mbcr::ir

@@ -1,0 +1,36 @@
+// Path identification for multipath programs.
+//
+// A path is identified by the sequence of control decisions taken during a
+// (non-ghost) execution: for every `if`, which branch; for every loop, how
+// many iterations. The suite uses this to verify that its per-path input
+// vectors really exercise distinct paths (e.g. the 8 maximum-iteration
+// paths of `bs` behind the paper's Fig. 2) and that pubbed programs still
+// follow the same decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbcr::ir {
+
+struct PathSignature {
+  /// (statement id, outcome): for ifs outcome is 1/0 (then/else); for loops
+  /// it is the natural trip count.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> events;
+
+  bool operator==(const PathSignature&) const = default;
+  std::uint64_t hash() const;
+  std::string to_string() const;
+
+  /// Decision string ignoring statement ids (stable across PUB cloning and
+  /// re-lowering): sequence of outcomes only.
+  std::vector<std::uint64_t> outcomes() const;
+};
+
+/// Indices of the inputs that exercise pairwise-distinct paths
+/// (first occurrence kept, order preserved).
+std::vector<std::size_t> distinct_paths(
+    const std::vector<PathSignature>& paths);
+
+}  // namespace mbcr::ir

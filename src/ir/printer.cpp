@@ -1,0 +1,97 @@
+#include "ir/printer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mbcr::ir {
+
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+}  // namespace
+
+void print(std::ostream& os, const StmtPtr& stmt, int indent) {
+  if (!stmt) {
+    os << pad(indent) << "<null>\n";
+    return;
+  }
+  switch (stmt->kind) {
+    case Stmt::Kind::kSeq:
+      for (const auto& c : stmt->children) print(os, c, indent);
+      break;
+    case Stmt::Kind::kAssign:
+      os << pad(indent) << stmt->name << " = " << to_string(stmt->value)
+         << ";\n";
+      break;
+    case Stmt::Kind::kStore:
+      os << pad(indent) << stmt->name << "[" << to_string(stmt->index)
+         << "] = " << to_string(stmt->value) << ";\n";
+      break;
+    case Stmt::Kind::kIf:
+      os << pad(indent) << "if (" << to_string(stmt->cond) << ") {\n";
+      print(os, stmt->children[0], indent + 1);
+      if (stmt->children.size() > 1) {
+        os << pad(indent) << "} else {\n";
+        print(os, stmt->children[1], indent + 1);
+      }
+      os << pad(indent) << "}\n";
+      break;
+    case Stmt::Kind::kFor:
+      os << pad(indent) << "for (" << stmt->name << " = "
+         << to_string(stmt->init) << "; " << to_string(stmt->cond) << "; "
+         << stmt->name << " += " << stmt->step << ")"
+         << (stmt->pad_to_max ? " /* pad->" + std::to_string(stmt->max_trips) + " */"
+                              : " /* <=" + std::to_string(stmt->max_trips) + " */")
+         << " {\n";
+      print(os, stmt->children[0], indent + 1);
+      os << pad(indent) << "}\n";
+      break;
+    case Stmt::Kind::kWhile:
+      os << pad(indent) << "while (" << to_string(stmt->cond) << ")"
+         << (stmt->pad_to_max ? " /* pad->" + std::to_string(stmt->max_trips) + " */"
+                              : " /* <=" + std::to_string(stmt->max_trips) + " */")
+         << " {\n";
+      print(os, stmt->children[0], indent + 1);
+      os << pad(indent) << "}\n";
+      break;
+    case Stmt::Kind::kGhost:
+      os << pad(indent) << "ghost {\n";
+      print(os, stmt->children[0], indent + 1);
+      os << pad(indent) << "}\n";
+      break;
+    case Stmt::Kind::kNop:
+      os << pad(indent) << ";\n";
+      break;
+  }
+}
+
+void print(std::ostream& os, const Program& program) {
+  os << "program " << program.name << " {\n";
+  for (const auto& a : program.arrays) {
+    os << "  int " << a.name << "[" << a.size << "];\n";
+  }
+  if (!program.scalars.empty()) {
+    os << "  int";
+    for (std::size_t i = 0; i < program.scalars.size(); ++i) {
+      os << (i ? ", " : " ") << program.scalars[i];
+    }
+    os << ";\n";
+  }
+  print(os, program.body, 1);
+  os << "}\n";
+}
+
+std::string to_string(const Program& program) {
+  std::ostringstream ss;
+  print(ss, program);
+  return ss.str();
+}
+
+std::string to_string(const StmtPtr& stmt) {
+  std::ostringstream ss;
+  print(ss, stmt, 0);
+  return ss.str();
+}
+
+}  // namespace mbcr::ir

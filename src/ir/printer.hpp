@@ -1,0 +1,21 @@
+// Pretty-printer for IR programs (debugging aid and example output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace mbcr::ir {
+
+/// Renders the statement tree as indented pseudo-C. Ghost regions print as
+/// `ghost { ... }`, padded loops carry a `/* pad->N */` annotation.
+void print(std::ostream& os, const StmtPtr& stmt, int indent = 0);
+
+/// Renders declarations plus the body.
+void print(std::ostream& os, const Program& program);
+
+std::string to_string(const Program& program);
+std::string to_string(const StmtPtr& stmt);
+
+}  // namespace mbcr::ir

@@ -1,0 +1,145 @@
+#include "ir/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mbcr::ir {
+
+const ArrayDecl* Program::find_array(const std::string& array_name) const {
+  const auto it =
+      std::find_if(arrays.begin(), arrays.end(),
+                   [&](const ArrayDecl& a) { return a.name == array_name; });
+  return it == arrays.end() ? nullptr : &*it;
+}
+
+bool Program::has_scalar(const std::string& scalar_name) const {
+  return std::find(scalars.begin(), scalars.end(), scalar_name) !=
+         scalars.end();
+}
+
+namespace {
+
+class Validator {
+public:
+  explicit Validator(const Program& program) : program_(program) {
+    for (const auto& a : program.arrays) {
+      if (a.size == 0) {
+        fail("array '" + a.name + "' has zero size");
+      }
+      if (a.init.size() > a.size) {
+        fail("array '" + a.name + "' initializer longer than array");
+      }
+      if (!array_names_.insert(a.name).second) {
+        fail("duplicate array '" + a.name + "'");
+      }
+    }
+    for (const auto& s : program.scalars) {
+      if (!scalar_names_.insert(s).second) {
+        fail("duplicate scalar '" + s + "'");
+      }
+      if (array_names_.contains(s)) {
+        fail("name '" + s + "' declared as both scalar and array");
+      }
+    }
+  }
+
+  void check_stmt(const StmtPtr& s) {
+    if (!s) fail("null statement");
+    switch (s->kind) {
+      case Stmt::Kind::kSeq:
+        for (const auto& c : s->children) check_stmt(c);
+        break;
+      case Stmt::Kind::kAssign:
+        require_scalar(s->name);
+        check_expr(s->value);
+        break;
+      case Stmt::Kind::kStore:
+        require_array(s->name);
+        check_expr(s->index);
+        check_expr(s->value);
+        break;
+      case Stmt::Kind::kIf:
+        check_expr(s->cond);
+        if (s->children.empty() || s->children.size() > 2) {
+          fail("if must have 1 or 2 branches");
+        }
+        for (const auto& c : s->children) check_stmt(c);
+        break;
+      case Stmt::Kind::kFor:
+        require_scalar(s->name);
+        check_expr(s->init);
+        check_expr(s->cond);
+        require_bound(*s);
+        check_stmt(s->children.at(0));
+        break;
+      case Stmt::Kind::kWhile:
+        check_expr(s->cond);
+        require_bound(*s);
+        check_stmt(s->children.at(0));
+        break;
+      case Stmt::Kind::kGhost:
+        check_stmt(s->children.at(0));
+        break;
+      case Stmt::Kind::kNop:
+        break;
+    }
+  }
+
+private:
+  void check_expr(const ExprPtr& e) {
+    if (!e) fail("null expression");
+    switch (e->kind) {
+      case Expr::Kind::kConst:
+        break;
+      case Expr::Kind::kVar:
+        require_scalar(e->name);
+        break;
+      case Expr::Kind::kIndex:
+        require_array(e->name);
+        check_expr(e->a);
+        break;
+      case Expr::Kind::kBin:
+        check_expr(e->a);
+        check_expr(e->b);
+        break;
+      case Expr::Kind::kUn:
+        check_expr(e->a);
+        break;
+      case Expr::Kind::kSelect:
+        check_expr(e->a);
+        check_expr(e->b);
+        check_expr(e->c);
+        break;
+    }
+  }
+
+  void require_scalar(const std::string& n) {
+    if (!scalar_names_.contains(n)) fail("undeclared scalar '" + n + "'");
+  }
+  void require_array(const std::string& n) {
+    if (!array_names_.contains(n)) fail("undeclared array '" + n + "'");
+  }
+  void require_bound(const Stmt& s) {
+    if (s.max_trips == 0) fail("loop without max_trips bound");
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw std::invalid_argument("program '" + program_.name + "': " + msg);
+  }
+
+  const Program& program_;
+  std::unordered_set<std::string> array_names_;
+  std::unordered_set<std::string> scalar_names_;
+};
+
+}  // namespace
+
+void validate(const Program& program) {
+  Validator v(program);
+  if (!program.body) {
+    throw std::invalid_argument("program '" + program.name + "': no body");
+  }
+  v.check_stmt(program.body);
+}
+
+}  // namespace mbcr::ir

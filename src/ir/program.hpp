@@ -1,0 +1,41 @@
+// A complete IR program: declarations + body, plus input vectors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace mbcr::ir {
+
+struct ArrayDecl {
+  std::string name;
+  std::size_t size = 0;             ///< element count (elements are 4 bytes)
+  std::vector<Value> init;          ///< initial contents (zero-padded)
+};
+
+struct Program {
+  std::string name;
+  std::vector<ArrayDecl> arrays;
+  std::vector<std::string> scalars;  ///< register-allocated; no data traffic
+  StmtPtr body;
+
+  const ArrayDecl* find_array(const std::string& array_name) const;
+  bool has_scalar(const std::string& scalar_name) const;
+};
+
+/// Concrete values for a run: scalar parameters and/or array contents.
+/// Anything not mentioned keeps its declared initial value (scalars: 0).
+struct InputVector {
+  std::string label;  ///< e.g. the paper's "v9"
+  std::map<std::string, Value> scalars;
+  std::map<std::string, std::vector<Value>> arrays;
+};
+
+/// Validates declarations and statement tree (unique names, declared
+/// identifiers only, loop bounds present). Throws std::invalid_argument.
+void validate(const Program& program);
+
+}  // namespace mbcr::ir

@@ -1,0 +1,34 @@
+// Random structured-program generator for property-based testing.
+//
+// Generates bounded, terminating multipath programs whose branches and loop
+// trip counts depend on input scalars. Used to fuzz the PUB invariant
+// (every original path's access trace is a subsequence of every pubbed
+// path's trace) far beyond the hand-written suite.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/program.hpp"
+#include "util/rng.hpp"
+
+namespace mbcr::ir {
+
+struct RandProgConfig {
+  int max_depth = 3;          ///< nesting of if/for
+  int max_block_stmts = 4;    ///< statements per block
+  int n_arrays = 2;
+  std::size_t array_size = 16;  ///< power of two (indices are masked)
+  int n_scalars = 4;            ///< s0..s{n-1}; s0, s1 are inputs
+  int n_inputs = 2;
+  std::uint64_t max_loop_trips = 6;
+};
+
+/// Builds a random valid program. Deterministic in `rng` state.
+Program random_program(Xoshiro256& rng, const RandProgConfig& config = {});
+
+/// Random input vector for a generated program (fills the input scalars
+/// with small values and arrays with random contents).
+InputVector random_input(const Program& program, Xoshiro256& rng,
+                         const RandProgConfig& config = {});
+
+}  // namespace mbcr::ir

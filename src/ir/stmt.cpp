@@ -1,0 +1,155 @@
+#include "ir/stmt.hpp"
+
+namespace mbcr::ir {
+
+std::uint64_t Stmt::next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+StmtPtr seq(std::vector<StmtPtr> stmts) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kSeq;
+  s->children = std::move(stmts);
+  return s;
+}
+
+StmtPtr assign(std::string name, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kAssign;
+  s->name = std::move(name);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr store(std::string array, ExprPtr index, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kStore;
+  s->name = std::move(array);
+  s->index = std::move(index);
+  s->value = std::move(value);
+  return s;
+}
+
+StmtPtr if_else(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kIf;
+  s->cond = std::move(cond);
+  s->children.push_back(std::move(then_branch));
+  if (else_branch) s->children.push_back(std::move(else_branch));
+  return s;
+}
+
+StmtPtr for_loop(std::string name, ExprPtr init, ExprPtr cond, Value step,
+                 StmtPtr body, std::uint64_t max_trips) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kFor;
+  s->name = std::move(name);
+  s->init = std::move(init);
+  s->cond = std::move(cond);
+  s->step = step;
+  s->children.push_back(std::move(body));
+  s->max_trips = max_trips;
+  return s;
+}
+
+StmtPtr while_loop(ExprPtr cond, StmtPtr body, std::uint64_t max_trips) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kWhile;
+  s->cond = std::move(cond);
+  s->children.push_back(std::move(body));
+  s->max_trips = max_trips;
+  return s;
+}
+
+StmtPtr ghost(StmtPtr body) {
+  // Ghost of ghost adds nothing: execution is already side-effect free.
+  if (body && body->kind == Stmt::Kind::kGhost) return body;
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kGhost;
+  s->children.push_back(std::move(body));
+  return s;
+}
+
+StmtPtr nop() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::kNop;
+  return s;
+}
+
+StmtPtr clone(const StmtPtr& stmt) {
+  if (!stmt) return nullptr;
+  auto s = std::make_shared<Stmt>();
+  s->kind = stmt->kind;
+  s->origin = stmt->origin;
+  s->name = stmt->name;
+  s->index = stmt->index;  // expressions are immutable, safe to share
+  s->value = stmt->value;
+  s->cond = stmt->cond;
+  s->init = stmt->init;
+  s->step = stmt->step;
+  s->max_trips = stmt->max_trips;
+  s->pad_to_max = stmt->pad_to_max;
+  s->exact_trips = stmt->exact_trips;
+  s->children.reserve(stmt->children.size());
+  for (const StmtPtr& c : stmt->children) s->children.push_back(clone(c));
+  return s;
+}
+
+bool stmt_equal(const StmtPtr& x, const StmtPtr& y) {
+  if (x == y) return true;
+  if (!x || !y) return false;
+  if (x->kind != y->kind || x->name != y->name || x->step != y->step ||
+      x->max_trips != y->max_trips) {
+    return false;
+  }
+  if (!expr_equal(x->index, y->index) || !expr_equal(x->value, y->value) ||
+      !expr_equal(x->cond, y->cond) || !expr_equal(x->init, y->init)) {
+    return false;
+  }
+  if (x->children.size() != y->children.size()) return false;
+  for (std::size_t i = 0; i < x->children.size(); ++i) {
+    if (!stmt_equal(x->children[i], y->children[i])) return false;
+  }
+  return true;
+}
+
+bool is_straight_line(const StmtPtr& stmt) {
+  if (!stmt) return true;
+  switch (stmt->kind) {
+    case Stmt::Kind::kAssign:
+    case Stmt::Kind::kStore:
+    case Stmt::Kind::kNop:
+      return true;
+    case Stmt::Kind::kSeq:
+      for (const StmtPtr& c : stmt->children) {
+        if (!is_straight_line(c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<StmtPtr> leaves(const StmtPtr& stmt) {
+  std::vector<StmtPtr> out;
+  if (!stmt) return out;
+  if (stmt->kind == Stmt::Kind::kSeq) {
+    for (const StmtPtr& c : stmt->children) {
+      auto sub = leaves(c);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else if (stmt->kind != Stmt::Kind::kNop) {
+    out.push_back(stmt);
+  }
+  return out;
+}
+
+std::size_t stmt_count(const StmtPtr& stmt) {
+  if (!stmt) return 0;
+  std::size_t n = 1;
+  for (const StmtPtr& c : stmt->children) n += stmt_count(c);
+  return n;
+}
+
+}  // namespace mbcr::ir

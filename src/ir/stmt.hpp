@@ -1,0 +1,104 @@
+// Statement nodes of the program IR.
+//
+// Statements form a structured tree (no gotos): sequences, scalar
+// assignments, array stores, if/else, bounded for/while loops, and `Ghost`
+// — the node PUB inserts. A Ghost subtree is executed for its memory
+// accesses only: it runs against a shadow copy of the environment and its
+// stores are demoted to loads of the same location ("functionally-innocuous
+// operations" in the paper's words).
+//
+// Every statement instance carries a unique id; the lowering pass keys
+// per-statement code addresses off it, so PUB clones (fresh ids) occupy
+// their own code space exactly like the real inflated binary would.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace mbcr::ir {
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kSeq, kAssign, kStore, kIf, kFor, kWhile, kGhost, kNop };
+
+  Kind kind = Kind::kNop;
+  std::uint64_t id = next_id();
+  /// Provenance: the id of the source statement this one descends from.
+  /// Fresh statements point at themselves; `clone` preserves the origin, so
+  /// PUB's ghost copies are traceable to the branch they mirror. The
+  /// interpreter's semantic token stream is keyed by origin, which is what
+  /// makes the PUB supersequence invariant (paper Eq. 2) machine-checkable
+  /// across the original and pubbed versions of a program.
+  std::uint64_t origin = id;
+
+  // kAssign: `name = value`; kStore: `name[index] = value`.
+  std::string name;
+  ExprPtr index;
+  ExprPtr value;
+
+  // kIf / kFor / kWhile condition.
+  ExprPtr cond;
+
+  // kSeq children; kIf: children[0] = then, children[1] = else (optional);
+  // kFor/kWhile/kGhost: children[0] = body.
+  std::vector<StmtPtr> children;
+
+  // kFor bookkeeping: `for (name = init; cond; name = name + step)`.
+  ExprPtr init;
+  Value step = 1;
+
+  // Loop bound contract: the loop never iterates more than `max_trips`
+  // times (required for every loop; WCET analysis assumes bounded loops).
+  // `pad_to_max` is set by PUB: after natural exit, the interpreter runs
+  // ghost iterations up to max_trips so every path executes the worst-case
+  // iteration count's access pattern.
+  std::uint64_t max_trips = 0;
+  bool pad_to_max = false;
+  /// Flow-analysis fact: the trip count of this loop never depends on the
+  /// input vector (e.g. triangular loops driven only by outer counters).
+  /// PUB consumes this and skips padding — padding an exact loop adds pure
+  /// pessimism. For simple constant-bound counting loops PUB derives this
+  /// syntactically; set it explicitly where the analysis cannot see it.
+  bool exact_trips = false;
+
+  static std::uint64_t next_id();
+};
+
+// --- constructors ---------------------------------------------------------
+
+StmtPtr seq(std::vector<StmtPtr> stmts);
+StmtPtr assign(std::string name, ExprPtr value);
+/// `array[index] = value`
+StmtPtr store(std::string array, ExprPtr index, ExprPtr value);
+StmtPtr if_else(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch = nullptr);
+/// `for (name = init; cond; name += step) body`, at most `max_trips` times.
+StmtPtr for_loop(std::string name, ExprPtr init, ExprPtr cond, Value step,
+                 StmtPtr body, std::uint64_t max_trips);
+StmtPtr while_loop(ExprPtr cond, StmtPtr body, std::uint64_t max_trips);
+StmtPtr ghost(StmtPtr body);
+StmtPtr nop();
+
+/// Deep copy with fresh statement ids (used by PUB when duplicating a
+/// branch into a sibling as ghost code).
+StmtPtr clone(const StmtPtr& stmt);
+
+/// Structural equality ignoring ids (used by the SCS merge).
+bool stmt_equal(const StmtPtr& x, const StmtPtr& y);
+
+/// True if the subtree contains no control flow (only seq/assign/store/nop).
+bool is_straight_line(const StmtPtr& stmt);
+
+/// Flattens a straight-line subtree into its leaf statements.
+std::vector<StmtPtr> leaves(const StmtPtr& stmt);
+
+/// Total number of statement nodes in the subtree.
+std::size_t stmt_count(const StmtPtr& stmt);
+
+}  // namespace mbcr::ir

@@ -1,0 +1,59 @@
+#include "mbpta/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mbpta/pwcet.hpp"
+#include "util/stats.hpp"
+
+namespace mbcr::mbpta {
+
+ConvergenceResult converge(const Sampler& sampler,
+                           const ConvergenceConfig& config) {
+  ConvergenceResult result;
+  auto grow_to = [&](std::size_t target) {
+    while (result.sample.size() < target) {
+      const std::size_t want = target - result.sample.size();
+      std::vector<double> chunk = sampler(want);
+      if (chunk.empty()) break;  // sampler exhausted (tests only)
+      result.sample.insert(result.sample.end(), chunk.begin(), chunk.end());
+    }
+  };
+
+  grow_to(config.min_runs);
+  while (result.sample.size() <= config.max_runs) {
+    const PwcetCurve curve(result.sample, config.evt);
+    result.estimates.push_back(curve.at(config.probability));
+
+    if (result.estimates.size() >= config.window) {
+      const std::span<const double> window_span(
+          result.estimates.data() + result.estimates.size() - config.window,
+          config.window);
+      const double med = quantile(window_span, 0.5);
+      bool stable = med > 0.0;
+      for (double e : window_span) {
+        if (std::abs(e - med) > config.tolerance * med) {
+          stable = false;
+          break;
+        }
+      }
+      if (stable) {
+        result.runs = result.sample.size();
+        result.converged = true;
+        return result;
+      }
+    }
+    // Geometric-ish growth: fixed deltas at small sizes (fine resolution
+    // where convergence typically happens), proportional steps later so
+    // the refit cost stays near-linear overall.
+    const std::size_t step =
+        std::max(config.delta, result.sample.size() / 5);
+    if (result.sample.size() + step > config.max_runs) break;
+    grow_to(result.sample.size() + step);
+  }
+  result.runs = result.sample.size();
+  result.converged = false;
+  return result;
+}
+
+}  // namespace mbcr::mbpta

@@ -1,0 +1,157 @@
+#include "mbpta/evt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mbcr::mbpta {
+
+double ExpTailFit::quantile(double p) const {
+  if (p <= 0.0) return std::numeric_limits<double>::infinity();
+  if (zeta <= 0.0) return threshold;
+  if (p >= zeta) return threshold;  // inside the empirical body
+  if (!std::isfinite(rate) || rate <= 0.0) return threshold;
+  return threshold + std::log(zeta / p) / rate;
+}
+
+double ExpTailFit::exceedance_prob(double t) const {
+  if (t <= threshold) return zeta;
+  if (!std::isfinite(rate) || rate <= 0.0) return 0.0;
+  return zeta * std::exp(-rate * (t - threshold));
+}
+
+ExpTailFit fit_exponential_tail(std::span<const double> sample,
+                                const EvtConfig& config) {
+  ExpTailFit fit;
+  fit.n_total = sample.size();
+  if (sample.empty()) return fit;
+
+  const std::vector<double> sorted = sorted_copy(sample);
+  const auto n = sorted.size();
+
+  // Candidate thresholds: progressively higher quantiles. Accept the first
+  // that (a) has excess CV within the confidence band and (b) is
+  // self-consistent: its extrapolation one decade past the sample
+  // resolution must dominate the sample maximum — a fit whose own
+  // observations already exceed it has its threshold below a tail knee
+  // (staircase mixtures from rare cache layouts) and must move up.
+  // Remember the best (closest to CV 1) consistent candidate as fallback.
+  const double sample_max = sorted.back();
+  const double probe_p = 0.1 / static_cast<double>(n);
+  double tail_fraction = config.initial_tail_fraction;
+  ExpTailFit best;
+  double best_cv_dist = std::numeric_limits<double>::infinity();
+  while (true) {
+    const auto n_exc = std::max<std::size_t>(
+        config.min_exceedances,
+        static_cast<std::size_t>(static_cast<double>(n) * tail_fraction));
+    if (n_exc >= n || n_exc < config.min_exceedances) break;
+    const double u = sorted[n - n_exc - 1];
+    std::vector<double> excess;
+    excess.reserve(n_exc);
+    for (std::size_t i = n - n_exc; i < n; ++i) {
+      excess.push_back(sorted[i] - u);
+    }
+    const double m = mean(excess);
+    ExpTailFit cand;
+    cand.threshold = u;
+    cand.n_exceedances = excess.size();
+    cand.n_total = n;
+    cand.zeta =
+        static_cast<double>(excess.size()) / static_cast<double>(n);
+    cand.rate = m > 0.0 ? 1.0 / m : std::numeric_limits<double>::infinity();
+    cand.cv = m > 0.0 ? coefficient_of_variation(excess) : 0.0;
+    const double band =
+        config.cv_band_sigmas / std::sqrt(static_cast<double>(excess.size()));
+    cand.cv_accepted = std::abs(cand.cv - 1.0) <= band;
+    const bool consistent =
+        m == 0.0 || cand.quantile(probe_p) >= sample_max;
+    const double dist = std::abs(cand.cv - 1.0);
+    if (consistent && dist < best_cv_dist) {
+      best_cv_dist = dist;
+      best = cand;
+    }
+    if (cand.cv_accepted && consistent) return cand;
+    // Raise the threshold: halve the tail fraction.
+    const double next = tail_fraction / 2.0;
+    if (next < config.min_tail_fraction) break;
+    tail_fraction = next;
+  }
+  // No consistent threshold on the fraction grid: fit the extreme tail
+  // (top min_exceedances observations) — conservative by construction on
+  // staircase mixtures.
+  if (best.n_exceedances == 0 && n > 2 * config.min_exceedances) {
+    const std::size_t n_exc = config.min_exceedances;
+    const double u = sorted[n - n_exc - 1];
+    std::vector<double> excess;
+    for (std::size_t i = n - n_exc; i < n; ++i) excess.push_back(sorted[i] - u);
+    const double m = mean(excess);
+    best.threshold = u;
+    best.n_exceedances = n_exc;
+    best.n_total = n;
+    best.zeta = static_cast<double>(n_exc) / static_cast<double>(n);
+    best.rate = m > 0.0 ? 1.0 / m : std::numeric_limits<double>::infinity();
+    best.cv = m > 0.0 ? coefficient_of_variation(excess) : 0.0;
+    best.cv_accepted = false;
+  }
+  // No threshold passed the CV band (heavily discrete or short tails):
+  // use the closest candidate — still an exponential upper-tail model,
+  // flagged as not CV-accepted.
+  if (best.n_exceedances == 0 && n >= 2) {
+    // Sample too small for the loop: fit on the top half.
+    const std::size_t n_exc = n / 2;
+    const double u = sorted[n - n_exc - 1];
+    std::vector<double> excess;
+    for (std::size_t i = n - n_exc; i < n; ++i) excess.push_back(sorted[i] - u);
+    const double m = mean(excess);
+    best.threshold = u;
+    best.n_exceedances = n_exc;
+    best.n_total = n;
+    best.zeta = static_cast<double>(n_exc) / static_cast<double>(n);
+    best.rate = m > 0.0 ? 1.0 / m : std::numeric_limits<double>::infinity();
+    best.cv = m > 0.0 ? coefficient_of_variation(excess) : 0.0;
+  }
+  return best;
+}
+
+double GumbelFit::quantile(double p) const {
+  p = std::clamp(p, 1e-300, 1.0 - 1e-12);
+  return mu - beta * std::log(-std::log(1.0 - p));
+}
+
+GumbelFit fit_gumbel_block_maxima(std::span<const double> sample,
+                                  std::size_t block_size) {
+  GumbelFit fit;
+  if (sample.empty() || block_size == 0) return fit;
+  std::vector<double> maxima;
+  for (std::size_t start = 0; start + block_size <= sample.size();
+       start += block_size) {
+    double m = sample[start];
+    for (std::size_t i = start + 1; i < start + block_size; ++i) {
+      m = std::max(m, sample[i]);
+    }
+    maxima.push_back(m);
+  }
+  if (maxima.size() < 2) return fit;
+  fit.blocks = maxima.size();
+  // Probability-weighted moments: b0 = mean, b1 = sum((i)/(n-1) x_(i))/n.
+  std::sort(maxima.begin(), maxima.end());
+  const auto n = static_cast<double>(maxima.size());
+  double b0 = 0.0;
+  double b1 = 0.0;
+  for (std::size_t i = 0; i < maxima.size(); ++i) {
+    b0 += maxima[i];
+    b1 += maxima[i] * static_cast<double>(i) / (n - 1.0);
+  }
+  b0 /= n;
+  b1 /= n;
+  constexpr double kEulerGamma = 0.57721566490153286;
+  fit.beta = (2.0 * b1 - b0) / std::log(2.0);
+  fit.mu = b0 - kEulerGamma * fit.beta;
+  return fit;
+}
+
+}  // namespace mbcr::mbpta

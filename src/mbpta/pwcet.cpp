@@ -1,0 +1,35 @@
+#include "mbpta/pwcet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mbcr::mbpta {
+
+PwcetCurve::PwcetCurve(std::span<const double> sample,
+                       const EvtConfig& config)
+    : eccdf_(sample),
+      tail_(fit_exponential_tail(sample, config)),
+      iid_(check_iid(sample)) {}
+
+double PwcetCurve::at(double p) const {
+  if (eccdf_.size() == 0) return 0.0;
+  // Within the resolution of the sample the empirical quantile is used;
+  // past it, the fitted exponential tail extrapolates. The curve is the
+  // max of both so the model never undercuts an actual observation.
+  const double empirical = eccdf_.value_at_exceedance(p);
+  if (p >= tail_.zeta) return std::min(empirical, upper_bound_);
+  return std::min(std::max(empirical, tail_.quantile(p)), upper_bound_);
+}
+
+std::vector<std::pair<double, double>> PwcetCurve::curve(int max_exp) const {
+  std::vector<std::pair<double, double>> out;
+  for (int e = 1; e <= max_exp; ++e) {
+    for (double mantissa : {1.0, 0.5, 0.2}) {
+      const double p = mantissa * std::pow(10.0, -e);
+      out.emplace_back(p, at(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace mbcr::mbpta

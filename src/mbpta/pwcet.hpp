@@ -1,0 +1,54 @@
+// pWCET curve: the deliverable of MBPTA (paper Fig. 1(a)).
+//
+// Combines the empirical distribution (for probabilities the sample can
+// resolve) with the fitted exponential tail (for the deep exceedance
+// probabilities certification cares about, e.g. 1e-12 per run in the
+// paper's Table 1).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mbpta/eccdf.hpp"
+#include "mbpta/evt.hpp"
+#include "mbpta/iid.hpp"
+
+namespace mbcr::mbpta {
+
+class PwcetCurve {
+public:
+  PwcetCurve() = default;
+
+  /// Fits the curve on `sample` (execution times of one path campaign).
+  explicit PwcetCurve(std::span<const double> sample,
+                      const EvtConfig& config = {});
+
+  /// pWCET at exceedance probability `p` per run.
+  double at(double p) const;
+
+  /// Clamps the curve at a sound architectural ceiling (e.g. the
+  /// every-access-misses time of the measured trace): no execution can
+  /// ever exceed it, so extrapolating past it is pure pessimism. The
+  /// paper leans on this ceiling when discussing ns (Sec. 4.2).
+  void set_upper_bound(double bound) { upper_bound_ = bound; }
+  double upper_bound() const { return upper_bound_; }
+
+  const Eccdf& eccdf() const { return eccdf_; }
+  const ExpTailFit& tail() const { return tail_; }
+  const IidReport& iid() const { return iid_; }
+  std::size_t sample_size() const { return eccdf_.size(); }
+
+  /// (exceedance probability, pWCET) series on a log grid, for plots:
+  /// p = 1e-1 ... 1e-{max_exp}.
+  std::vector<std::pair<double, double>> curve(int max_exp = 15) const;
+
+private:
+  Eccdf eccdf_;
+  ExpTailFit tail_;
+  IidReport iid_;
+  double upper_bound_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mbcr::mbpta

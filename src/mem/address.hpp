@@ -1,0 +1,32 @@
+// Address-space primitives shared by the layout, cache and trace modules.
+#pragma once
+
+#include <cstdint>
+
+namespace mbcr {
+
+using Addr = std::uint64_t;
+
+/// Default cache-line size used across the platform (paper: 32B/line).
+inline constexpr Addr kDefaultLineBytes = 32;
+
+/// Cache-line index of a byte address for a given line size (power of two).
+constexpr Addr line_of(Addr addr, Addr line_bytes = kDefaultLineBytes) {
+  return addr / line_bytes;
+}
+
+/// Kinds of memory accesses a program emits. Instruction fetches go to the
+/// IL1, loads/stores to the DL1. PUB's padding turns stores into ghost loads
+/// (same line, no architectural effect), which is why only the address and
+/// the target cache matter for timing.
+enum class AccessKind : std::uint8_t { kIFetch, kLoad, kStore };
+
+struct Access {
+  Addr addr = 0;
+  AccessKind kind = AccessKind::kLoad;
+
+  bool is_instruction() const { return kind == AccessKind::kIFetch; }
+  bool operator==(const Access&) const = default;
+};
+
+}  // namespace mbcr

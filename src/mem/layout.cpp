@@ -1,0 +1,49 @@
+#include "mem/layout.hpp"
+
+#include <stdexcept>
+
+namespace mbcr {
+
+MemoryLayout::MemoryLayout(Addr code_base, Addr data_base)
+    : code_cursor_(code_base), data_cursor_(data_base) {}
+
+Addr MemoryLayout::alloc(Addr& cursor, const std::string& name, Addr bytes,
+                         Addr align) {
+  if (bytes == 0) throw std::invalid_argument("zero-sized region: " + name);
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("alignment must be a power of two");
+  }
+  if (index_.contains(name)) {
+    throw std::invalid_argument("duplicate region name: " + name);
+  }
+  cursor = (cursor + align - 1) & ~(align - 1);
+  const Addr base = cursor;
+  cursor += bytes;
+  index_.emplace(name, regions_.size());
+  regions_.push_back({name, base, bytes});
+  return base;
+}
+
+Addr MemoryLayout::alloc_code(const std::string& name, Addr bytes,
+                              Addr align) {
+  return alloc(code_cursor_, name, bytes, align);
+}
+
+Addr MemoryLayout::alloc_data(const std::string& name, Addr bytes,
+                              Addr align) {
+  return alloc(data_cursor_, name, bytes, align);
+}
+
+const LayoutRegion& MemoryLayout::region(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::out_of_range("unknown region: " + name);
+  }
+  return regions_[it->second];
+}
+
+bool MemoryLayout::has_region(const std::string& name) const {
+  return index_.contains(name);
+}
+
+}  // namespace mbcr

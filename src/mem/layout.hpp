@@ -1,0 +1,58 @@
+// Code and data placement for IR programs.
+//
+// The paper's central premise is that the mapping of program objects to
+// memory (and hence to cache sets) is out of the user's control; the
+// platform randomizes placement instead. This module provides the
+// *deterministic* link-time layout: each program object (scalar, array,
+// basic block) gets a contiguous byte range. The per-run randomization then
+// happens in the cache's placement hash, not here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace mbcr {
+
+struct LayoutRegion {
+  std::string name;
+  Addr base = 0;
+  Addr size = 0;
+};
+
+/// Bump allocator over an address space with named regions.
+class MemoryLayout {
+public:
+  /// `code_base`/`data_base`: start of the text and data segments.
+  /// Defaults mimic a small embedded image with disjoint segments.
+  explicit MemoryLayout(Addr code_base = 0x0000'1000,
+                        Addr data_base = 0x0001'0000);
+
+  /// Reserves `bytes` of code space aligned to `align`; returns base address.
+  Addr alloc_code(const std::string& name, Addr bytes, Addr align = 4);
+
+  /// Reserves `bytes` of data space aligned to `align`; returns base address.
+  Addr alloc_data(const std::string& name, Addr bytes, Addr align = 4);
+
+  /// Looks up a previously allocated region by name; throws if absent.
+  const LayoutRegion& region(const std::string& name) const;
+  bool has_region(const std::string& name) const;
+
+  const std::vector<LayoutRegion>& regions() const { return regions_; }
+
+  Addr code_cursor() const { return code_cursor_; }
+  Addr data_cursor() const { return data_cursor_; }
+
+private:
+  Addr alloc(Addr& cursor, const std::string& name, Addr bytes, Addr align);
+
+  Addr code_cursor_;
+  Addr data_cursor_;
+  std::vector<LayoutRegion> regions_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace mbcr

@@ -1,0 +1,60 @@
+#include "platform/campaign.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace mbcr::platform {
+
+std::vector<double> run_campaign(const Machine& machine,
+                                 const CompactTrace& trace, std::size_t runs,
+                                 const CampaignConfig& config,
+                                 std::size_t first_run) {
+  std::vector<double> times(runs);
+  if (runs == 0) return times;
+
+  unsigned threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(1, runs / 64)));
+
+  auto worker = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t seed = mix64(first_run + i, config.master_seed);
+      times[i] = static_cast<double>(machine.run_once(trace, seed));
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0, runs);
+    return times;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t chunk = (runs + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * chunk;
+    const std::size_t end = std::min(runs, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back(worker, begin, end);
+  }
+  for (auto& th : pool) th.join();
+  return times;
+}
+
+CampaignSampler::CampaignSampler(const Machine& machine,
+                                 const CompactTrace& trace,
+                                 const CampaignConfig& config)
+    : machine_(machine), trace_(trace), config_(config) {}
+
+std::vector<double> CampaignSampler::operator()(std::size_t count) {
+  std::vector<double> chunk =
+      run_campaign(machine_, trace_, count, config_, next_run_);
+  next_run_ += count;
+  return chunk;
+}
+
+}  // namespace mbcr::platform

@@ -1,0 +1,50 @@
+// Measurement campaigns: R independent runs of a trace on the randomized
+// platform.
+//
+// Determinism contract: run i always uses seed mix64(i, master_seed), so a
+// campaign's sample is a pure function of (trace, machine, master_seed,
+// first_run, runs) — independent of thread count and scheduling. This is
+// what lets the convergence driver extend a campaign incrementally and
+// lets every bench be reproduced exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/machine.hpp"
+
+namespace mbcr::platform {
+
+struct CampaignConfig {
+  std::uint64_t master_seed = 42;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Executes runs [first_run, first_run + runs) and returns their execution
+/// times in run order.
+std::vector<double> run_campaign(const Machine& machine,
+                                 const CompactTrace& trace, std::size_t runs,
+                                 const CampaignConfig& config = {},
+                                 std::size_t first_run = 0);
+
+/// Stateful incremental sampler over the same deterministic run sequence;
+/// adapts a campaign to mbpta::converge().
+class CampaignSampler {
+public:
+  CampaignSampler(const Machine& machine, const CompactTrace& trace,
+                  const CampaignConfig& config = {});
+
+  /// Produces the next `count` execution times (runs are numbered
+  /// consecutively across calls).
+  std::vector<double> operator()(std::size_t count);
+
+  std::size_t runs_done() const { return next_run_; }
+
+private:
+  const Machine& machine_;
+  const CompactTrace& trace_;
+  CampaignConfig config_;
+  std::size_t next_run_ = 0;
+};
+
+}  // namespace mbcr::platform

@@ -1,0 +1,89 @@
+#include "platform/machine.hpp"
+
+#include <vector>
+
+#include "cache/random_cache.hpp"
+#include "util/rng.hpp"
+
+namespace mbcr::platform {
+
+namespace {
+
+// Per-run sub-seed derivation: keep in sync between the fast replay and
+// the reference implementation so both produce bit-identical results.
+constexpr std::uint64_t kIl1Placement = 1;
+constexpr std::uint64_t kDl1Placement = 2;
+constexpr std::uint64_t kIl1Replacement = 3;
+constexpr std::uint64_t kDl1Replacement = 4;
+
+constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+/// Flat-array cache state for one side, keyed by dense line ids.
+class FastSide {
+public:
+  FastSide(const CacheConfig& cfg, const std::vector<Addr>& lines,
+           std::uint64_t placement_seed, std::uint64_t replacement_seed)
+      : ways_(cfg.ways),
+        rng_(replacement_seed),
+        tags_(static_cast<std::size_t>(cfg.sets) * cfg.ways, kEmpty),
+        set_of_(lines.size()) {
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+      set_of_[l] = static_cast<std::uint32_t>(mix64(lines[l], placement_seed) %
+                                              cfg.sets);
+    }
+  }
+
+  bool access(std::uint32_t line_id) {
+    std::uint32_t* base = tags_.data() +
+                          static_cast<std::size_t>(set_of_[line_id]) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w] == line_id) return true;
+    }
+    base[rng_.uniform(ways_)] = line_id;
+    return false;
+  }
+
+private:
+  std::uint32_t ways_;
+  Xoshiro256 rng_;
+  std::vector<std::uint32_t> tags_;
+  std::vector<std::uint32_t> set_of_;
+};
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  config_.il1.validate();
+  config_.dl1.validate();
+}
+
+std::uint64_t Machine::run_once(const CompactTrace& trace,
+                                std::uint64_t run_seed) const {
+  FastSide il1(config_.il1, trace.ilines, mix64(kIl1Placement, run_seed),
+               mix64(kIl1Replacement, run_seed));
+  FastSide dl1(config_.dl1, trace.dlines, mix64(kDl1Placement, run_seed),
+               mix64(kDl1Replacement, run_seed));
+  const TimingParams& t = config_.timing;
+  std::uint64_t cycles = 0;
+  for (const CompactTrace::Entry& e : trace.entries) {
+    if (e.is_instr) {
+      cycles += t.issue_cycles;
+      if (!il1.access(e.line_id)) cycles += t.mem_latency;
+    } else {
+      cycles += t.dl1_hit_cycles;
+      if (!dl1.access(e.line_id)) cycles += t.mem_latency;
+    }
+  }
+  return cycles;
+}
+
+std::uint64_t Machine::run_once_reference(const MemTrace& trace,
+                                          std::uint64_t run_seed) const {
+  RandomCache il1(config_.il1, mix64(kIl1Placement, run_seed),
+                  mix64(kIl1Replacement, run_seed));
+  RandomCache dl1(config_.dl1, mix64(kDl1Placement, run_seed),
+                  mix64(kDl1Replacement, run_seed));
+  return execute_trace(trace, il1, dl1, config_.timing);
+}
+
+}  // namespace mbcr::platform

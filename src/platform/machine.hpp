@@ -1,0 +1,46 @@
+// The modeled execution platform (paper Sec. 4): pipelined in-order core,
+// separate 4KB 2-way 32B/line IL1 and DL1 with random placement and random
+// replacement, caches flushed before each run.
+//
+// `Machine::run_once` is the hot path of every measurement campaign: it
+// replays a compact trace under a fresh per-run placement (derived from
+// the run seed) and returns the cycle count. The placement hash is
+// evaluated once per unique line per run; accesses then replay through
+// flat tag arrays.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_config.hpp"
+#include "cpu/pipeline.hpp"
+#include "cpu/trace.hpp"
+
+namespace mbcr::platform {
+
+struct MachineConfig {
+  CacheConfig il1 = CacheConfig::paper_l1();
+  CacheConfig dl1 = CacheConfig::paper_l1();
+  TimingParams timing;
+};
+
+class Machine {
+public:
+  explicit Machine(const MachineConfig& config = {});
+
+  /// One measurement run: fresh random placement + replacement derived
+  /// from `run_seed`, cold caches, full trace replay. Returns cycles.
+  std::uint64_t run_once(const CompactTrace& trace,
+                         std::uint64_t run_seed) const;
+
+  /// Reference implementation via the generic RandomCache (slow but
+  /// obviously correct); used by tests to validate the fast replay.
+  std::uint64_t run_once_reference(const MemTrace& trace,
+                                   std::uint64_t run_seed) const;
+
+  const MachineConfig& config() const { return config_; }
+
+private:
+  MachineConfig config_;
+};
+
+}  // namespace mbcr::platform

@@ -1,0 +1,161 @@
+#include "pub/pub_transform.hpp"
+
+#include "pub/scs.hpp"
+
+namespace mbcr::pub {
+
+using ir::Stmt;
+using ir::StmtPtr;
+
+namespace {
+
+/// Pads one branch of a conditional: its own statements stay real (the
+/// branch's own nodes, so ids and provenance are exact), the merged-in
+/// sibling statements run as ghost clones (fresh ids — PUB genuinely
+/// duplicates that code in the binary).
+StmtPtr materialize(const std::vector<MergedStmt>& merged,
+                    std::size_t own_branch) {
+  std::vector<StmtPtr> out;
+  out.reserve(merged.size());
+  for (const MergedStmt& m : merged) {
+    if (m.from(own_branch)) {
+      out.push_back(m.node_of(own_branch));
+    } else {
+      out.push_back(ir::ghost(ir::clone(m.representative())));
+    }
+  }
+  return ir::seq(std::move(out));
+}
+
+/// True if the subtree writes scalar `name` (assignment or use as a loop
+/// counter).
+bool writes_scalar(const StmtPtr& s, const std::string& name) {
+  if (!s) return false;
+  if ((s->kind == Stmt::Kind::kAssign || s->kind == Stmt::Kind::kFor) &&
+      s->name == name) {
+    return true;
+  }
+  for (const StmtPtr& c : s->children) {
+    if (writes_scalar(c, name)) return true;
+  }
+  return false;
+}
+
+/// Syntactic constant-trip detection: `for (i = C0; i < C1; i += step)`
+/// (or <=) whose body never writes the counter iterates a fixed count —
+/// no input can change it, so PUB need not pad it. This mirrors the
+/// trivial case of the loop-bound flow analysis a production PUB pass
+/// consumes; anything subtler uses the explicit `exact_trips` annotation.
+bool is_constant_trip(const Stmt& s) {
+  if (s.kind != Stmt::Kind::kFor) return false;
+  if (!s.init || s.init->kind != ir::Expr::Kind::kConst) return false;
+  const ir::ExprPtr& c = s.cond;
+  if (!c || c->kind != ir::Expr::Kind::kBin) return false;
+  if (c->bin != ir::BinOp::kLt && c->bin != ir::BinOp::kLe &&
+      c->bin != ir::BinOp::kGt && c->bin != ir::BinOp::kGe) {
+    return false;
+  }
+  if (!c->a || c->a->kind != ir::Expr::Kind::kVar || c->a->name != s.name) {
+    return false;
+  }
+  if (!c->b || c->b->kind != ir::Expr::Kind::kConst) return false;
+  return !writes_scalar(s.children.at(0), s.name);
+}
+
+class PubPass {
+public:
+  explicit PubPass(const PubOptions& options) : opt_(options) {}
+
+  StmtPtr walk(const StmtPtr& s) {
+    switch (s->kind) {
+      case Stmt::Kind::kSeq: {
+        std::vector<StmtPtr> children;
+        children.reserve(s->children.size());
+        for (const auto& c : s->children) children.push_back(walk(c));
+        StmtPtr out = ir::seq(std::move(children));
+        out->origin = s->origin;
+        return out;
+      }
+      case Stmt::Kind::kIf:
+        return pad_if(s);
+      case Stmt::Kind::kFor: {
+        StmtPtr out = ir::for_loop(s->name, s->init, s->cond, s->step,
+                                   walk(s->children.at(0)), s->max_trips);
+        out->origin = s->origin;
+        out->exact_trips = s->exact_trips;
+        out->pad_to_max =
+            opt_.pad_loops && !s->exact_trips && !is_constant_trip(*s);
+        return out;
+      }
+      case Stmt::Kind::kWhile: {
+        StmtPtr out =
+            ir::while_loop(s->cond, walk(s->children.at(0)), s->max_trips);
+        out->origin = s->origin;
+        out->exact_trips = s->exact_trips;
+        out->pad_to_max = opt_.pad_loops && !s->exact_trips;
+        return out;
+      }
+      case Stmt::Kind::kGhost: {
+        StmtPtr out = ir::ghost(walk(s->children.at(0)));
+        out->origin = s->origin;
+        return out;
+      }
+      case Stmt::Kind::kAssign:
+      case Stmt::Kind::kStore:
+      case Stmt::Kind::kNop:
+        return s;
+    }
+    return s;
+  }
+
+private:
+  // Innermost-first: branches are transformed before the conditional that
+  // contains them is padded (paper Sec. 2).
+  StmtPtr pad_if(const StmtPtr& s) {
+    StmtPtr then_b = walk(s->children.at(0));
+    StmtPtr else_b =
+        s->children.size() > 1 ? walk(s->children.at(1)) : ir::nop();
+
+    StmtPtr then_padded;
+    StmtPtr else_padded;
+    if (opt_.merge == BranchMerge::kScsInterleave &&
+        ir::is_straight_line(then_b) && ir::is_straight_line(else_b)) {
+      // Minimal insertion: merge the two leaf sequences via their SCS.
+      const std::vector<MergedStmt> merged =
+          scs2(ir::leaves(then_b), ir::leaves(else_b));
+      then_padded = materialize(merged, 0);
+      else_padded = materialize(merged, 1);
+    } else {
+      // Conservative fallback: own statements followed by a ghost replay
+      // of the sibling — still a common supersequence of both branches.
+      then_padded = ir::seq({then_b, ir::ghost(ir::clone(else_b))});
+      else_padded = ir::seq({ir::ghost(ir::clone(then_b)), else_b});
+    }
+
+    StmtPtr out = ir::if_else(s->cond, std::move(then_padded),
+                              std::move(else_padded));
+    out->origin = s->origin;
+    return out;
+  }
+
+  PubOptions opt_;
+};
+
+}  // namespace
+
+StmtPtr pub_stmt(const StmtPtr& stmt, const PubOptions& options) {
+  PubPass pass(options);
+  return pass.walk(stmt);
+}
+
+ir::Program apply_pub(const ir::Program& program, const PubOptions& options) {
+  ir::Program out;
+  out.name = program.name + ".pub";
+  out.arrays = program.arrays;
+  out.scalars = program.scalars;
+  out.body = pub_stmt(program.body, options);
+  ir::validate(out);
+  return out;
+}
+
+}  // namespace mbcr::pub

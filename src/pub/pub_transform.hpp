@@ -1,0 +1,43 @@
+// PUB — Path Upper-Bounding (Kosmidis et al., ECRTS 2014), as an IR-to-IR
+// transform.
+//
+// Applied recursively, innermost constructs first (paper Sec. 2):
+//  * every conditional branch is padded so that it performs, in order, the
+//    memory accesses of ALL sibling branches: its own statements run for
+//    real, the siblings' are ghost-executed (functionally innocuous:
+//    loads only, no state escapes);
+//  * straight-line sibling branches are merged via their shortest common
+//    supersequence, minimizing inserted accesses (the paper's `ins`
+//    operator); branches with nested control flow fall back to
+//    own-then-ghost-of-siblings concatenation, still a valid supersequence;
+//  * every loop is padded to its declared bound: after natural exit the
+//    body keeps ghost-executing until `max_trips` iterations are reached,
+//    so all paths see the worst-case iteration count's access pattern.
+//
+// The transformed program computes exactly the same results as the
+// original (ghost state never escapes); only its timing differs. On a
+// time-randomized cache any pubbed path's execution-time distribution
+// upper-bounds every original path's (paper Eq. 1).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace mbcr::pub {
+
+enum class BranchMerge {
+  kScsInterleave,  ///< SCS merge for straight-line branches (default)
+  kAppendGhost,    ///< always own-statements-then-ghost-of-siblings
+};
+
+struct PubOptions {
+  BranchMerge merge = BranchMerge::kScsInterleave;
+  bool pad_loops = true;
+};
+
+/// Returns the pubbed program. The input program is not modified.
+ir::Program apply_pub(const ir::Program& program, const PubOptions& options = {});
+
+/// Statement-level transform (exposed for tests).
+ir::StmtPtr pub_stmt(const ir::StmtPtr& stmt, const PubOptions& options);
+
+}  // namespace mbcr::pub

@@ -1,0 +1,103 @@
+#include "pub/scs.hpp"
+
+#include <algorithm>
+
+namespace mbcr::pub {
+
+ir::StmtPtr MergedStmt::node_of(std::size_t branch) const {
+  for (const auto& [b, node] : nodes) {
+    if (b == branch) return node;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// SCS of an already-merged sequence with one more branch (index `bindex`).
+std::vector<MergedStmt> merge_one(const std::vector<MergedStmt>& acc,
+                                  const std::vector<ir::StmtPtr>& next,
+                                  std::size_t bindex) {
+  const std::size_t n = acc.size();
+  const std::size_t m = next.size();
+  // LCS dynamic program on structural statement equality.
+  std::vector<std::vector<std::uint32_t>> lcs(
+      n + 1, std::vector<std::uint32_t>(m + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (ir::stmt_equal(acc[i - 1].representative(), next[j - 1])) {
+        lcs[i][j] = lcs[i - 1][j - 1] + 1;
+      } else {
+        lcs[i][j] = std::max(lcs[i - 1][j], lcs[i][j - 1]);
+      }
+    }
+  }
+  // Backtrack from (n, m) building the supersequence back to front.
+  const auto bit = static_cast<std::uint32_t>(1u << bindex);
+  std::vector<MergedStmt> out;
+  out.reserve(n + m - lcs[n][m]);
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 && j > 0) {
+    if (ir::stmt_equal(acc[i - 1].representative(), next[j - 1])) {
+      MergedStmt merged = acc[i - 1];
+      merged.sources |= bit;
+      merged.nodes.emplace_back(bindex, next[j - 1]);
+      out.push_back(std::move(merged));
+      --i;
+      --j;
+    } else if (lcs[i - 1][j] >= lcs[i][j - 1]) {
+      out.push_back(acc[i - 1]);
+      --i;
+    } else {
+      out.push_back({bit, {{bindex, next[j - 1]}}});
+      --j;
+    }
+  }
+  while (i > 0) {
+    out.push_back(acc[i - 1]);
+    --i;
+  }
+  while (j > 0) {
+    out.push_back({bit, {{bindex, next[j - 1]}}});
+    --j;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<MergedStmt> scs2(const std::vector<ir::StmtPtr>& a,
+                             const std::vector<ir::StmtPtr>& b) {
+  return scs({a, b});
+}
+
+std::vector<MergedStmt> scs(
+    const std::vector<std::vector<ir::StmtPtr>>& branches) {
+  std::vector<MergedStmt> acc;
+  if (branches.empty()) return acc;
+  acc.reserve(branches[0].size());
+  for (const auto& s : branches[0]) acc.push_back({1u, {{0, s}}});
+  for (std::size_t b = 1; b < branches.size(); ++b) {
+    acc = merge_one(acc, branches[b], b);
+  }
+  return acc;
+}
+
+bool contains_branch(const std::vector<MergedStmt>& merged,
+                     const std::vector<ir::StmtPtr>& branch,
+                     std::size_t branch_index) {
+  std::size_t next = 0;
+  for (const MergedStmt& m : merged) {
+    if (m.from(branch_index)) {
+      if (next >= branch.size() ||
+          !ir::stmt_equal(m.node_of(branch_index), branch[next])) {
+        return false;
+      }
+      ++next;
+    }
+  }
+  return next == branch.size();
+}
+
+}  // namespace mbcr::pub

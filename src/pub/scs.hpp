@@ -1,0 +1,53 @@
+// Shortest common supersequence (SCS) over statement sequences.
+//
+// PUB's `ins(M, x)` operator inserts the *missing* accesses of sibling
+// branches while preserving each branch's own order; the minimal such
+// merge of two branches is their shortest common supersequence. For two
+// sequences we compute it exactly via the classic LCS-based dynamic
+// program; for k > 2 branches we fold the branches pairwise left to right,
+// the standard heuristic — any common supersequence is a valid upper-bound,
+// minimality only reduces pessimism.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace mbcr::pub {
+
+/// One element of a merged branch sequence. Structurally-equal statements
+/// from different branches collapse into one element, but each branch's
+/// *own* node is retained so that provenance (Stmt::origin) stays exact
+/// when the element is materialized into that branch.
+struct MergedStmt {
+  std::uint32_t sources = 0;  ///< bit b set => branches[b] contains this stmt
+  /// (branch index, that branch's original node) for every set bit.
+  std::vector<std::pair<std::size_t, ir::StmtPtr>> nodes;
+
+  bool from(std::size_t branch) const { return (sources >> branch) & 1u; }
+
+  /// The branch's own node, or null if the branch lacks this element.
+  ir::StmtPtr node_of(std::size_t branch) const;
+
+  /// Any representative node (used for ghost materialization).
+  const ir::StmtPtr& representative() const { return nodes.front().second; }
+};
+
+/// Exact SCS of two leaf-statement sequences under structural equality.
+std::vector<MergedStmt> scs2(const std::vector<ir::StmtPtr>& a,
+                             const std::vector<ir::StmtPtr>& b);
+
+/// Pairwise-fold k-way merge. Bit i of `sources` refers to `branches[i]`.
+/// The result is a common supersequence of every input branch.
+std::vector<MergedStmt> scs(
+    const std::vector<std::vector<ir::StmtPtr>>& branches);
+
+/// Checks that selecting the elements with bit `branch` set yields exactly
+/// that branch's sequence (the supersequence invariant).
+bool contains_branch(const std::vector<MergedStmt>& merged,
+                     const std::vector<ir::StmtPtr>& branch,
+                     std::size_t branch_index);
+
+}  // namespace mbcr::pub

@@ -1,0 +1,67 @@
+#include "pub/verify.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mbcr::pub {
+
+bool tokens_subsequence(std::span<const std::uint64_t> needle,
+                        std::span<const std::uint64_t> haystack) {
+  std::size_t i = 0;
+  for (std::uint64_t t : haystack) {
+    if (i == needle.size()) return true;
+    if (needle[i] == t) ++i;
+  }
+  return i == needle.size();
+}
+
+PubCheckResult check_pub_invariants(const ir::Program& original,
+                                    const ir::Program& pubbed,
+                                    const ir::InputVector& input) {
+  PubCheckResult out;
+  const ir::ExecResult orig = ir::lower_and_execute(original, input);
+  const ir::ExecResult pub = ir::lower_and_execute(pubbed, input);
+
+  out.orig_tokens = orig.tokens.size();
+  out.pub_tokens = pub.tokens.size();
+  out.tokens_are_subsequence = tokens_subsequence(orig.tokens, pub.tokens);
+  if (!out.tokens_are_subsequence) {
+    out.detail += "token stream of original is not a subsequence of pubbed; ";
+  }
+
+  out.state_preserved = orig.env.scalars == pub.env.scalars &&
+                        orig.env.arrays == pub.env.arrays;
+  if (!out.state_preserved) {
+    out.detail += "final architectural state differs; ";
+  }
+  return out;
+}
+
+PubCheckResult check_pub(const ir::Program& original,
+                         const ir::InputVector& input,
+                         const PubOptions& options) {
+  return check_pub_invariants(original, apply_pub(original, options), input);
+}
+
+double dominance_violation(std::span<const double> base,
+                           std::span<const double> upper,
+                           double relative_slack) {
+  if (base.empty() || upper.empty()) return 0.0;
+  const std::vector<double> sb = sorted_copy(base);
+  const std::vector<double> su = sorted_copy(upper);
+  double worst = 0.0;
+  // Quantile grid fine enough to see tail crossings but coarse enough to be
+  // robust to sampling noise at the extreme order statistics.
+  for (int k = 1; k <= 99; ++k) {
+    const double q = static_cast<double>(k) / 100.0;
+    const double qb = quantile_sorted(sb, q);
+    const double qu = quantile_sorted(su, q);
+    if (qb <= 0.0) continue;
+    const double rel = (qb - qu) / qb - relative_slack;
+    worst = std::max(worst, rel);
+  }
+  return std::max(worst, 0.0);
+}
+
+}  // namespace mbcr::pub

@@ -1,0 +1,56 @@
+// Checkers for the PUB invariants.
+//
+// (1) Insertion property (paper Eq. 2): for the same input vector, the
+//     original program's semantic token stream is a subsequence of the
+//     pubbed program's stream — PUB only *inserts* accesses, it never
+//     removes or reorders.
+// (2) Semantic preservation: pubbed and original compute identical final
+//     architectural state (ghost work never escapes).
+// (3) Distributional upper-bounding (paper Observation 1 / Fig. 2): on the
+//     randomized platform, every pubbed path's empirical execution-time
+//     CCDF lies at-or-right-of every original path's — checked empirically
+//     with a sampling tolerance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "ir/interp.hpp"
+#include "ir/program.hpp"
+#include "pub/pub_transform.hpp"
+
+namespace mbcr::pub {
+
+struct PubCheckResult {
+  bool tokens_are_subsequence = false;
+  bool state_preserved = false;
+  std::size_t orig_tokens = 0;
+  std::size_t pub_tokens = 0;
+  std::string detail;
+
+  bool ok() const { return tokens_are_subsequence && state_preserved; }
+};
+
+/// Runs both programs on `input` and checks invariants (1) and (2).
+PubCheckResult check_pub_invariants(const ir::Program& original,
+                                    const ir::Program& pubbed,
+                                    const ir::InputVector& input);
+
+/// Convenience: applies PUB and checks in one go.
+PubCheckResult check_pub(const ir::Program& original,
+                         const ir::InputVector& input,
+                         const PubOptions& options = {});
+
+/// Invariant (3): fraction of probability levels (on a quantile grid) where
+/// `upper` fails to dominate `base`, i.e. quantile_upper < quantile_base -
+/// slack. Returns the worst relative violation (0 = full dominance).
+double dominance_violation(std::span<const double> base,
+                           std::span<const double> upper,
+                           double relative_slack = 0.0);
+
+/// True iff two token streams satisfy the subsequence relation.
+bool tokens_subsequence(std::span<const std::uint64_t> needle,
+                        std::span<const std::uint64_t> haystack);
+
+}  // namespace mbcr::pub

@@ -1,0 +1,75 @@
+// bs — binary search over a 15-entry table (Mälardalen `bs.c`).
+//
+// The classic illustration kernel of the paper (Sec. 3.3): with 15 keys,
+// every search terminates within 4 iterations; the searches that need all
+// 4 iterations realize 8 distinct paths (the left/right decisions at the
+// first three probe levels). The paper's inputs v1, v3, ..., v15 are the
+// searched keys that land on the 8 depth-4 leaves; we reproduce exactly
+// that naming, with key(position p) = 2p+1 so that input "vj" searches
+// key j.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+SuiteBenchmark make_bs() {
+  Program p;
+  p.name = "bs";
+
+  constexpr std::size_t kEntries = 15;
+  std::vector<Value> keys;
+  std::vector<Value> values;
+  for (std::size_t i = 0; i < kEntries; ++i) {
+    keys.push_back(static_cast<Value>(2 * i + 1));
+    values.push_back(static_cast<Value>(100 + i));
+  }
+  p.arrays.push_back({"data_key", kEntries, keys});
+  p.arrays.push_back({"data_value", kEntries, values});
+  p.scalars = {"x", "fvalue", "mid", "up", "low"};
+
+  // while (low <= up) {
+  //   mid = (low + up) >> 1;
+  //   if (data_key[mid] == x) { up = low - 1; fvalue = data_value[mid]; }
+  //   else if (data_key[mid] > x) up = mid - 1;
+  //   else low = mid + 1;
+  // }
+  StmtPtr found = seq({
+      assign("up", var("low") - cst(1)),
+      assign("fvalue", ld("data_value", var("mid"))),
+  });
+  StmtPtr go_left = assign("up", var("mid") - cst(1));
+  StmtPtr go_right = assign("low", var("mid") + cst(1));
+  StmtPtr body = seq({
+      assign("mid", (var("low") + var("up")) >> cst(1)),
+      if_else(eq(ld("data_key", var("mid")), var("x")), std::move(found),
+              if_else(ld("data_key", var("mid")) > var("x"),
+                      std::move(go_left), std::move(go_right))),
+  });
+  p.body = seq({
+      assign("fvalue", cst(-1)),
+      assign("low", cst(0)),
+      assign("up", cst(14)),
+      while_loop(var("low") <= var("up"), std::move(body), /*max_trips=*/4),
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "bs";
+  b.program = std::move(p);
+  // The 8 maximum-iteration paths: searched keys at probe-tree leaf
+  // positions 0,2,4,...,14, i.e. key values 1,5,9,...,29 — labeled
+  // v1..v15 after the paper.
+  for (int j = 1; j <= 15; j += 2) {
+    InputVector in;
+    in.label = "v" + std::to_string(j);
+    in.scalars["x"] = static_cast<Value>(2 * (j - 1) + 1);
+    b.path_inputs.push_back(std::move(in));
+  }
+  b.default_input = b.path_inputs.front();  // v1: a depth-4 (worst) path
+  b.single_path = false;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,82 @@
+// cnt — counts and sums positive values in a matrix (Mälardalen `cnt.c`).
+//
+// Multipath: the per-element branch depends on the matrix contents. The
+// positive branch does strictly more work (two updates), so an all-positive
+// matrix triggers the worst-case path — which is what the default input
+// does, matching the paper's classification of cnt among the multipath
+// kernels whose default input already hits the worst path.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+constexpr Value kDim = 10;
+}
+
+SuiteBenchmark make_cnt() {
+  Program p;
+  p.name = "cnt";
+  p.arrays.push_back(
+      {"A", static_cast<std::size_t>(kDim * kDim), {}});
+  p.scalars = {"i", "j", "poscnt", "possum", "negcnt", "negsum", "v"};
+
+  StmtPtr positive = seq({
+      assign("possum", var("possum") + var("v")),
+      assign("poscnt", var("poscnt") + cst(1)),
+  });
+  StmtPtr negative = seq({
+      assign("negsum", var("negsum") + var("v")),
+      assign("negcnt", var("negcnt") + cst(1)),
+  });
+  StmtPtr inner_body = seq({
+      assign("v", ld("A", var("i") * cst(kDim) + var("j"))),
+      if_else(var("v") >= cst(0), std::move(positive), std::move(negative)),
+  });
+  p.body = seq({
+      assign("poscnt", cst(0)),
+      assign("possum", cst(0)),
+      assign("negcnt", cst(0)),
+      assign("negsum", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(kDim), 1,
+               for_loop("j", cst(0), var("j") < cst(kDim), 1,
+                        std::move(inner_body),
+                        static_cast<std::uint64_t>(kDim)),
+               static_cast<std::uint64_t>(kDim)),
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "cnt";
+  b.program = std::move(p);
+
+  auto matrix_input = [](const std::string& label, auto value_at) {
+    InputVector in;
+    in.label = label;
+    std::vector<Value> m;
+    for (Value i = 0; i < kDim; ++i) {
+      for (Value j = 0; j < kDim; ++j) m.push_back(value_at(i, j));
+    }
+    in.arrays["A"] = std::move(m);
+    return in;
+  };
+
+  // Default: all positive (worst-case path on every element).
+  b.default_input = matrix_input(
+      "allpos", [](Value i, Value j) { return i * 3 + j + 1; });
+  b.path_inputs.push_back(b.default_input);
+  b.path_inputs.push_back(matrix_input(
+      "allneg", [](Value i, Value j) { return -(i * 3 + j + 1); }));
+  b.path_inputs.push_back(matrix_input("checker", [](Value i, Value j) {
+    return ((i + j) % 2 == 0) ? (i + j + 1) : -(i + j + 1);
+  }));
+  b.path_inputs.push_back(matrix_input("halfneg", [](Value i, Value j) {
+    return (i < kDim / 2) ? (i * 7 + j) : -(j + 1);
+  }));
+  b.single_path = false;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

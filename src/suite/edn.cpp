@@ -1,0 +1,72 @@
+// edn — DSP kernel collection (Mälardalen `edn.c`): vector multiply,
+// multiply-accumulate, and an inner-product filter pass. All loops are
+// fixed-bound and branch-free: single-path, so execution-time variability
+// on the platform is purely a cache/hardware effect (paper Sec. 4).
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+constexpr Value kVec = 64;
+constexpr Value kFirOut = 32;
+constexpr Value kFirTaps = 8;
+}  // namespace
+
+SuiteBenchmark make_edn() {
+  Program p;
+  p.name = "edn";
+  std::vector<Value> wave;
+  for (Value i = 0; i < kVec; ++i) wave.push_back((i * 13) % 51 - 25);
+  p.arrays.push_back({"x", static_cast<std::size_t>(kVec), wave});
+  p.arrays.push_back({"y", static_cast<std::size_t>(kVec), {}});
+  p.arrays.push_back({"z", static_cast<std::size_t>(kVec), {}});
+  p.arrays.push_back({"fout", static_cast<std::size_t>(kFirOut), {}});
+  p.scalars = {"i", "j", "acc", "sq"};
+
+  // vec_mpy1: y[i] += (c * x[i]) >> 15  (c folded to a constant)
+  StmtPtr vec_mpy = store(
+      "y", var("i"),
+      ld("y", var("i")) + ((cst(4191) * ld("x", var("i"))) >> cst(15)));
+
+  // mac: dot product plus sum of squares over x and y.
+  StmtPtr mac_body = seq({
+      assign("sq", var("sq") + ld("y", var("i")) * ld("y", var("i"))),
+      assign("acc", var("acc") + ld("x", var("i")) * ld("y", var("i"))),
+      store("z", var("i"), var("acc") >> cst(4)),
+  });
+
+  // fir-style inner product: fout[j] = sum_i x[j+i] * y(i-scaled).
+  StmtPtr fir_inner = assign(
+      "acc",
+      var("acc") + ld("x", var("j") + var("i")) * ld("z", var("i") * cst(2)));
+  StmtPtr fir_body = seq({
+      assign("acc", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(kFirTaps), 1, std::move(fir_inner),
+               static_cast<std::uint64_t>(kFirTaps)),
+      store("fout", var("j"), var("acc") >> cst(8)),
+  });
+
+  p.body = seq({
+      for_loop("i", cst(0), var("i") < cst(kVec), 1, std::move(vec_mpy),
+               static_cast<std::uint64_t>(kVec)),
+      assign("acc", cst(0)),
+      assign("sq", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(kVec), 1, std::move(mac_body),
+               static_cast<std::uint64_t>(kVec)),
+      for_loop("j", cst(0), var("j") < cst(kFirOut), 1, std::move(fir_body),
+               static_cast<std::uint64_t>(kFirOut)),
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "edn";
+  b.program = std::move(p);
+  b.default_input.label = "default";
+  b.single_path = true;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,86 @@
+// fdct — fast discrete cosine transform (Mälardalen `fdct.c`), an
+// AAN-style 8x8 integer DCT. Structurally similar to jfdct but with a
+// different butterfly network and an extra descaling sweep, so it has a
+// distinct code/data footprint. Single-path.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+
+constexpr Value kDim = 8;
+
+StmtPtr aan_pass(const std::string& counter, bool rows) {
+  auto at = [&](Value k) {
+    return rows ? var(counter) * cst(kDim) + cst(k)
+                : var(counter) + cst(k * kDim);
+  };
+  auto L = [&](Value k) { return ld("dct", at(k)); };
+
+  std::vector<StmtPtr> body;
+  body.push_back(assign("s0", L(0) + L(7)));
+  body.push_back(assign("s7", L(0) - L(7)));
+  body.push_back(assign("s1", L(1) + L(6)));
+  body.push_back(assign("s6", L(1) - L(6)));
+  body.push_back(assign("s2", L(2) + L(5)));
+  body.push_back(assign("s5", L(2) - L(5)));
+  body.push_back(assign("s3", L(3) + L(4)));
+  body.push_back(assign("s4", L(3) - L(4)));
+  // Even half: two more butterfly levels.
+  body.push_back(assign("u0", var("s0") + var("s3")));
+  body.push_back(assign("u3", var("s0") - var("s3")));
+  body.push_back(assign("u1", var("s1") + var("s2")));
+  body.push_back(assign("u2", var("s1") - var("s2")));
+  body.push_back(store("dct", at(0), var("u0") + var("u1")));
+  body.push_back(store("dct", at(4), var("u0") - var("u1")));
+  body.push_back(assign("u2", (var("u2") + var("u3")) * cst(181) >> cst(8)));
+  body.push_back(store("dct", at(2), var("u3") + var("u2")));
+  body.push_back(store("dct", at(6), var("u3") - var("u2")));
+  // Odd half: AAN rotations folded into three multiplies.
+  body.push_back(assign("u0", (var("s4") + var("s5")) * cst(98) >> cst(8)));
+  body.push_back(assign("u1", (var("s5") + var("s6")) * cst(181) >> cst(8)));
+  body.push_back(assign("u2", (var("s6") + var("s7")) * cst(236) >> cst(8)));
+  body.push_back(store("dct", at(1), var("s7") + var("u1")));
+  body.push_back(store("dct", at(7), var("s7") - var("u1")));
+  body.push_back(store("dct", at(5), var("u0") + var("u2")));
+  body.push_back(store("dct", at(3), var("u0") - var("u2")));
+
+  return for_loop(counter, cst(0), var(counter) < cst(kDim), 1,
+                  seq(std::move(body)), static_cast<std::uint64_t>(kDim));
+}
+
+}  // namespace
+
+SuiteBenchmark make_fdct() {
+  Program p;
+  p.name = "fdct";
+  std::vector<Value> init;
+  for (Value i = 0; i < kDim * kDim; ++i) init.push_back((i * 7) % 61 - 30);
+  p.arrays.push_back({"dct", static_cast<std::size_t>(kDim * kDim), init});
+  p.scalars = {"r", "c", "k", "s0", "s1", "s2", "s3",
+               "s4", "s5", "s6", "s7", "u0", "u1", "u2", "u3"};
+
+  // Row pass, column pass, then the descale sweep over all 64 entries.
+  StmtPtr descale =
+      for_loop("k", cst(0), var("k") < cst(kDim * kDim), 1,
+               store("dct", var("k"), (ld("dct", var("k")) + cst(2)) >> cst(2)),
+               static_cast<std::uint64_t>(kDim * kDim));
+  p.body = seq({
+      aan_pass("r", /*rows=*/true),
+      aan_pass("c", /*rows=*/false),
+      std::move(descale),
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "fdct";
+  b.program = std::move(p);
+  b.default_input.label = "default";
+  b.single_path = true;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,77 @@
+// fir — finite impulse response filter with output clamping
+// (after Mälardalen `fir.c`).
+//
+// The convolution loops are fixed-bound; the multipath behaviour comes from
+// the clamping branch on each output sample (negative accumulations are
+// clamped to zero — the cheap branch). The default input (all-positive
+// signal and coefficients) keeps every accumulation non-negative and thus
+// always takes the heavier store-and-scale branch: the worst-case path,
+// matching the paper's classification.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+constexpr Value kSamples = 32;
+constexpr Value kTaps = 8;
+constexpr Value kScale = 5;
+}  // namespace
+
+SuiteBenchmark make_fir() {
+  Program p;
+  p.name = "fir";
+  p.arrays.push_back({"in", static_cast<std::size_t>(kSamples), {}});
+  std::vector<Value> coef;
+  for (Value i = 0; i < kTaps; ++i) coef.push_back(3 + 2 * i);
+  p.arrays.push_back({"coef", static_cast<std::size_t>(kTaps), coef});
+  p.arrays.push_back({"out", static_cast<std::size_t>(kSamples), {}});
+  p.scalars = {"i", "j", "sum"};
+
+  StmtPtr mac = assign(
+      "sum", var("sum") + ld("in", var("j") - var("i")) * ld("coef", var("i")));
+  StmtPtr clamp_zero = store("out", var("j"), cst(0));
+  StmtPtr scale_store = seq({
+      assign("sum", var("sum") >> cst(kScale)),
+      store("out", var("j"), var("sum") + cst(1)),
+  });
+  StmtPtr outer_body = seq({
+      assign("sum", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(kTaps), 1, std::move(mac),
+               static_cast<std::uint64_t>(kTaps)),
+      if_else(var("sum") < cst(0), std::move(clamp_zero),
+              std::move(scale_store)),
+  });
+  p.body = for_loop("j", cst(kTaps - 1), var("j") < cst(kSamples), 1,
+                    std::move(outer_body),
+                    static_cast<std::uint64_t>(kSamples - kTaps + 1));
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "fir";
+  b.program = std::move(p);
+
+  auto signal_input = [](const std::string& label, auto value_at) {
+    InputVector in;
+    in.label = label;
+    std::vector<Value> sig;
+    for (Value i = 0; i < kSamples; ++i) sig.push_back(value_at(i));
+    in.arrays["in"] = std::move(sig);
+    return in;
+  };
+
+  // Default: positive signal -> every sample takes the heavy branch.
+  b.default_input =
+      signal_input("pos", [](Value i) { return 10 + (i * 7) % 23; });
+  b.path_inputs.push_back(b.default_input);
+  b.path_inputs.push_back(
+      signal_input("neg", [](Value i) { return -(10 + (i * 5) % 17); }));
+  b.path_inputs.push_back(signal_input(
+      "mixed", [](Value i) { return (i % 3 == 0) ? -40 : 6 + i; }));
+  b.single_path = false;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,61 @@
+// insertsort — insertion sort of 10 integers (Mälardalen `insertsort.c`).
+//
+// The paper classifies insertsort as single-path: on the evaluated
+// platform it compiles to predicated compare-exchange steps with a full
+// fixed-bound inner sweep. We model exactly that: the inner loop always
+// runs down to index 1 and each step is a branch-free conditional swap
+// (Select expressions = conditional moves), so the control path never
+// depends on the data.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+constexpr Value kN = 10;
+}
+
+SuiteBenchmark make_insertsort() {
+  Program p;
+  p.name = "insertsort";
+  p.arrays.push_back({"a", static_cast<std::size_t>(kN), {}});
+  p.scalars = {"i", "j", "lo", "hi", "swapped"};
+
+  // Branch-free compare-exchange of a[j-1], a[j].
+  ExprPtr left = ld("a", var("j") - cst(1));
+  ExprPtr right = ld("a", var("j"));
+  ExprPtr cond = bin(BinOp::kGt, left, right);  // out of order?
+  StmtPtr cmpxchg = seq({
+      assign("lo", select(cond, ld("a", var("j")), ld("a", var("j") - cst(1)))),
+      assign("hi", select(cond, ld("a", var("j") - cst(1)), ld("a", var("j")))),
+      store("a", var("j") - cst(1), var("lo")),
+      store("a", var("j"), var("hi")),
+  });
+  // for (i = 1; i < N; i++) for (j = i; j >= 1; j--) cmpxchg(j)
+  StmtPtr inner = for_loop("j", var("i"), var("j") >= cst(1), -1,
+                           std::move(cmpxchg),
+                           static_cast<std::uint64_t>(kN));
+  // Triangular loop: the trip count (= i) depends only on the outer
+  // counter, never on the input — a flow-analysis fact PUB consumes so it
+  // does not pad the inner sweep.
+  inner->exact_trips = true;
+  p.body = for_loop("i", cst(1), var("i") < cst(kN), 1, std::move(inner),
+                    static_cast<std::uint64_t>(kN));
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "insertsort";
+  b.program = std::move(p);
+  b.default_input.label = "reverse";
+  {
+    std::vector<Value> contents;
+    for (Value i = 0; i < kN; ++i) contents.push_back(kN - i);
+    b.default_input.arrays["a"] = std::move(contents);
+  }
+  b.single_path = true;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,91 @@
+// jfdct — JPEG forward discrete cosine transform on an 8x8 block
+// (Mälardalen `jfdctint.c`), integer butterfly arithmetic, row pass then
+// column pass. Single-path: fixed 8-iteration loops of straight-line code
+// with large expressions — a heavy instruction-cache workload.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+
+constexpr Value kDim = 8;
+
+// One butterfly pass over `block`, reading/writing 8 elements spaced
+// `stride` apart starting at `base_var * other_stride`.
+StmtPtr dct_pass(const std::string& counter, Value stride, Value pass_bound) {
+  auto at = [&](Value k) {
+    return var(counter) * cst(stride == 1 ? kDim : 1) + cst(k * stride);
+  };
+  auto L = [&](Value k) { return ld("block", at(k)); };
+
+  std::vector<StmtPtr> body;
+  // Even part.
+  body.push_back(assign("t0", L(0) + L(7)));
+  body.push_back(assign("t7", L(0) - L(7)));
+  body.push_back(assign("t1", L(1) + L(6)));
+  body.push_back(assign("t6", L(1) - L(6)));
+  body.push_back(assign("t2", L(2) + L(5)));
+  body.push_back(assign("t5", L(2) - L(5)));
+  body.push_back(assign("t3", L(3) + L(4)));
+  body.push_back(assign("t4", L(3) - L(4)));
+  body.push_back(assign("t10", var("t0") + var("t3")));
+  body.push_back(assign("t13", var("t0") - var("t3")));
+  body.push_back(assign("t11", var("t1") + var("t2")));
+  body.push_back(assign("t12", var("t1") - var("t2")));
+  body.push_back(store("block", at(0), var("t10") + var("t11")));
+  body.push_back(store("block", at(4), var("t10") - var("t11")));
+  body.push_back(
+      assign("z1", (var("t12") + var("t13")) * cst(4433) >> cst(13)));
+  body.push_back(store("block", at(2),
+                       var("z1") + (var("t13") * cst(2446) >> cst(13))));
+  body.push_back(store("block", at(6),
+                       var("z1") - (var("t12") * cst(10703) >> cst(13))));
+  // Odd part (condensed rotator network).
+  body.push_back(
+      assign("z1", (var("t4") + var("t7")) * cst(1247) >> cst(13)));
+  body.push_back(
+      assign("z2", (var("t5") + var("t6")) * cst(3196) >> cst(13)));
+  body.push_back(store("block", at(1),
+                       var("z1") + (var("t7") * cst(6270) >> cst(13))));
+  body.push_back(store("block", at(3),
+                       var("z2") + (var("t6") * cst(2217) >> cst(13))));
+  body.push_back(store("block", at(5),
+                       var("z2") - (var("t5") * cst(7568) >> cst(13))));
+  body.push_back(store("block", at(7),
+                       var("z1") - (var("t4") * cst(9633) >> cst(13))));
+
+  return for_loop(counter, cst(0), var(counter) < cst(pass_bound), 1,
+                  seq(std::move(body)),
+                  static_cast<std::uint64_t>(pass_bound));
+}
+
+}  // namespace
+
+SuiteBenchmark make_jfdct() {
+  Program p;
+  p.name = "jfdct";
+  std::vector<Value> block;
+  for (Value i = 0; i < kDim * kDim; ++i) block.push_back((i * 9) % 97 - 48);
+  p.arrays.push_back({"block", static_cast<std::size_t>(kDim * kDim), block});
+  p.scalars = {"r",  "c",  "t0",  "t1",  "t2",  "t3", "t4",
+               "t5", "t6", "t7",  "t10", "t11", "t12", "t13",
+               "z1", "z2"};
+
+  p.body = seq({
+      dct_pass("r", /*stride=*/1, kDim),     // row pass
+      dct_pass("c", /*stride=*/kDim, kDim),  // column pass
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "jfdct";
+  b.program = std::move(p);
+  b.default_input.label = "default";
+  b.single_path = true;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

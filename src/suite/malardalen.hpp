@@ -1,0 +1,52 @@
+// Mälardalen-style benchmark suite (Gustafsson et al., WCET Workshop 2010)
+// translated to the program IR — the eleven kernels the paper evaluates
+// (Table 2 / Fig. 5): bs cnt fir janne crc edn insertsort jfdct matmult
+// fdct ns.
+//
+// Each benchmark carries its default input (the paper uses default input
+// sets, "considering them representative of the worst case for loop
+// bounds") plus, for multipath kernels, a family of path inputs (e.g. the
+// eight maximum-iteration paths of bs behind Fig. 2 / Table 1). The
+// `single_path` flag mirrors the paper's Sec. 4.2 classification; the
+// multipath kernels whose default input already triggers the worst-case
+// path are bs, cnt, fir and janne, while crc's default does not.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace mbcr::suite {
+
+struct SuiteBenchmark {
+  std::string name;
+  ir::Program program;
+  ir::InputVector default_input;
+  /// Inputs exercising distinct paths (multipath kernels only; includes
+  /// the default when it is one of them).
+  std::vector<ir::InputVector> path_inputs;
+  bool single_path = false;
+  /// Paper Sec. 4.2: default input known to trigger the worst-case path.
+  bool default_hits_worst_path = false;
+};
+
+SuiteBenchmark make_bs();
+SuiteBenchmark make_cnt();
+SuiteBenchmark make_fir();
+SuiteBenchmark make_janne();
+SuiteBenchmark make_crc();
+SuiteBenchmark make_edn();
+SuiteBenchmark make_insertsort();
+SuiteBenchmark make_jfdct();
+SuiteBenchmark make_matmult();
+SuiteBenchmark make_fdct();
+SuiteBenchmark make_ns();
+
+/// All eleven benchmarks in the paper's Table 2 order.
+std::vector<SuiteBenchmark> malardalen_suite();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+SuiteBenchmark make_benchmark(const std::string& name);
+
+}  // namespace mbcr::suite

@@ -1,0 +1,52 @@
+// ns — search in a multi-dimensional array (Mälardalen `ns.c`): a scan
+// over a 5x5x5x5 key table. The paper's platform compiles it single-path:
+// we model the full-table scan with a predicated match accumulator
+// (Select), so every run touches all 625 entries in the same order
+// regardless of the searched key.
+#include "suite/malardalen.hpp"
+
+namespace mbcr::suite {
+
+using namespace ir;
+
+namespace {
+constexpr Value kSide = 5;
+constexpr Value kCells = kSide * kSide * kSide * kSide;  // 625
+}  // namespace
+
+SuiteBenchmark make_ns() {
+  Program p;
+  p.name = "ns";
+  std::vector<Value> keys;
+  for (Value i = 0; i < kCells; ++i) keys.push_back((i * 37 + 11) % 800);
+  p.arrays.push_back({"keys", static_cast<std::size_t>(kCells), keys});
+  p.arrays.push_back({"answer", 1, {}});
+  p.scalars = {"target", "pos", "found", "cur"};
+
+  // for pos in 0..624: found = (keys[pos]==target && found<0) ? pos : found
+  StmtPtr body = seq({
+      assign("cur", ld("keys", var("pos"))),
+      assign("found", select(bin(BinOp::kLAnd,
+                                 bin(BinOp::kEq, var("cur"), var("target")),
+                                 var("found") < cst(0)),
+                             var("pos"), var("found"))),
+  });
+  p.body = seq({
+      assign("found", cst(-1)),
+      for_loop("pos", cst(0), var("pos") < cst(kCells), 1, std::move(body),
+               static_cast<std::uint64_t>(kCells)),
+      store("answer", cst(0), var("found")),
+  });
+  validate(p);
+
+  SuiteBenchmark b;
+  b.name = "ns";
+  b.program = std::move(p);
+  b.default_input.label = "default";
+  b.default_input.scalars["target"] = keys.back();
+  b.single_path = true;
+  b.default_hits_worst_path = true;
+  return b;
+}
+
+}  // namespace mbcr::suite

@@ -1,0 +1,58 @@
+// Conflict-group enumeration over access clusters.
+//
+// A "conflict group" is a set of k distinct cache lines that overflows a
+// set if co-mapped (k = W+1 is the minimal over-capacity group; the
+// paper's Sec. 3.1 worked examples count exactly these). Lines inside a
+// temporal cluster are symmetric, so we enumerate *cluster multisets*:
+// pick m_i lines from cluster i with sum m_i = k. Each multiset stands
+// for prod_i C(|cluster_i|, m_i) concrete groups, all with the same
+// expected impact, which we estimate once on representatives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hpp"
+#include "tac/reuse.hpp"
+
+namespace mbcr::tac {
+
+struct ConflictGroup {
+  std::vector<std::size_t> cluster_multiplicity;  ///< m_i per cluster index
+  std::size_t group_size = 0;                     ///< k = sum m_i
+  double combination_count = 0;                   ///< prod C(|c_i|, m_i)
+  double extra_misses = 0;                        ///< expected, if co-mapped
+  std::vector<Addr> representative_lines;
+};
+
+struct ConflictConfig {
+  std::size_t max_clusters = 24;   ///< hottest clusters considered
+  std::uint32_t impact_trials = 8;
+  std::uint64_t seed = 0x7ac0ffee;
+  /// Group sizes to enumerate, as offsets from W+1 (0 => exactly W+1).
+  /// The default also enumerates W+2 groups: rarer double-conflict layouts
+  /// whose impact exceeds the W+1 knee (they drive the largest run counts
+  /// on streaming kernels, cf. the paper's ns at 500k runs).
+  std::vector<std::size_t> extra_group_sizes = {0, 1};
+  /// Skip groups whose combined access count is below this share of the
+  /// sequence (they cannot matter).
+  double min_access_share = 0.001;
+};
+
+/// Enumerates cluster multisets of the configured sizes and estimates
+/// their impact. Returns groups sorted by extra_misses descending.
+std::vector<ConflictGroup> enumerate_conflict_groups(
+    const ReuseProfile& profile, const CacheConfig& cache,
+    const ConflictConfig& config = {});
+
+/// Exhaustive per-line enumeration (no clustering) for small traces;
+/// used by the ablation bench to validate the clustered search.
+std::vector<ConflictGroup> enumerate_conflict_groups_exhaustive(
+    const ReuseProfile& profile, const CacheConfig& cache,
+    std::size_t group_size, std::uint32_t impact_trials = 8,
+    std::uint64_t seed = 0x7ac0ffee);
+
+/// n choose k as a double (combination counts can exceed 2^64).
+double binomial(std::size_t n, std::size_t k);
+
+}  // namespace mbcr::tac

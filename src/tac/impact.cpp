@@ -1,0 +1,41 @@
+#include "tac/impact.hpp"
+
+#include <algorithm>
+
+#include "cache/single_set.hpp"
+
+namespace mbcr::tac {
+
+std::vector<Addr> project_group(const ReuseProfile& profile,
+                                std::span<const std::size_t> line_indices) {
+  // Merge the per-line position lists: (position, line) pairs sorted by
+  // position give the projected subsequence.
+  std::vector<std::pair<std::uint32_t, Addr>> merged;
+  std::size_t total = 0;
+  for (std::size_t idx : line_indices) total += profile.lines[idx].count;
+  merged.reserve(total);
+  for (std::size_t idx : line_indices) {
+    const LineStats& ls = profile.lines[idx];
+    for (std::uint32_t pos : ls.positions) merged.emplace_back(pos, ls.line);
+  }
+  std::sort(merged.begin(), merged.end());
+  std::vector<Addr> out;
+  out.reserve(merged.size());
+  for (const auto& [pos, line] : merged) out.push_back(line);
+  return out;
+}
+
+double group_extra_misses(const ReuseProfile& profile,
+                          std::span<const std::size_t> line_indices,
+                          std::uint32_t ways, std::uint64_t seed,
+                          std::uint32_t trials) {
+  const std::vector<Addr> projected = project_group(profile, line_indices);
+  const double conflicted =
+      expected_misses_single_set(projected, ways, seed, trials);
+  // Conflict-free baseline: each line in its own (otherwise idle) set
+  // suffers exactly its cold miss.
+  const double baseline = static_cast<double>(line_indices.size());
+  return std::max(0.0, conflicted - baseline);
+}
+
+}  // namespace mbcr::tac

@@ -1,0 +1,28 @@
+// Impact estimation: how many extra misses does a line group cause if
+// random placement maps all of its lines into one set?
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/address.hpp"
+#include "tac/reuse.hpp"
+
+namespace mbcr::tac {
+
+/// Projects the sequence onto the chosen lines (by index into
+/// `profile.lines`) using their pre-recorded positions: a k-way merge,
+/// cost proportional to the group's own access count.
+std::vector<Addr> project_group(const ReuseProfile& profile,
+                                std::span<const std::size_t> line_indices);
+
+/// Expected *extra* misses when the group shares one W-way
+/// random-replacement set, relative to the conflict-free baseline (one
+/// cold miss per line). Averaged over `trials` replacement streams.
+double group_extra_misses(const ReuseProfile& profile,
+                          std::span<const std::size_t> line_indices,
+                          std::uint32_t ways, std::uint64_t seed,
+                          std::uint32_t trials = 8);
+
+}  // namespace mbcr::tac

@@ -1,0 +1,66 @@
+#include "tac/reuse.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace mbcr::tac {
+
+namespace {
+
+std::uint32_t log2_floor(std::uint64_t v) {
+  std::uint32_t r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+}  // namespace
+
+ReuseProfile profile_sequence(std::span<const Addr> line_seq,
+                              std::size_t buckets) {
+  if (buckets == 0 || buckets > 64) buckets = 32;
+  ReuseProfile out;
+  out.sequence_length = line_seq.size();
+  if (line_seq.empty()) return out;
+
+  std::unordered_map<Addr, std::size_t> index;
+  for (std::size_t pos = 0; pos < line_seq.size(); ++pos) {
+    const Addr line = line_seq[pos];
+    auto [it, inserted] = index.try_emplace(line, out.lines.size());
+    if (inserted) out.lines.push_back({line, 0, 0, {}});
+    LineStats& ls = out.lines[it->second];
+    ++ls.count;
+    const std::size_t bucket = pos * buckets / line_seq.size();
+    ls.signature_mask |= (1ULL << bucket);
+    ls.positions.push_back(static_cast<std::uint32_t>(pos));
+  }
+
+  // Cluster by (temporal mask, log2 count).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> cmap;
+  for (std::size_t i = 0; i < out.lines.size(); ++i) {
+    const LineStats& ls = out.lines[i];
+    const auto key = std::make_pair(ls.signature_mask, log2_floor(ls.count));
+    auto [it, inserted] = cmap.try_emplace(key, out.clusters.size());
+    if (inserted) {
+      out.clusters.push_back({ls.signature_mask, log2_floor(ls.count), {}});
+    }
+    out.clusters[it->second].line_indices.push_back(i);
+  }
+
+  // Hottest clusters first (total access count, then size).
+  std::sort(out.clusters.begin(), out.clusters.end(),
+            [&](const AccessCluster& a, const AccessCluster& b) {
+              auto total = [&](const AccessCluster& c) {
+                std::uint64_t t = 0;
+                for (std::size_t i : c.line_indices) t += out.lines[i].count;
+                return t;
+              };
+              const std::uint64_t ta = total(a);
+              const std::uint64_t tb = total(b);
+              if (ta != tb) return ta > tb;
+              return a.size() > b.size();
+            });
+  return out;
+}
+
+}  // namespace mbcr::tac

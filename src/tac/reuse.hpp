@@ -1,0 +1,50 @@
+// Per-line access statistics and temporal clustering of an address
+// sequence — the front-end of TAC.
+//
+// TAC has to reason about which *groups* of cache lines would cause a
+// large miss inflation if random placement ever mapped them into the same
+// set. Enumerating all line groups is combinatorial, so we first cluster
+// lines by temporal signature (which fraction of the trace they appear in,
+// how often): lines with the same signature are symmetric — any two
+// choices of the same per-cluster multiplicities have the same expected
+// impact, and their combination count is a product of binomials. This is
+// the affordable-cost strategy of the TAC line of work (Milutinovic et
+// al., ISORC'16 / Ada-Europe'17).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/address.hpp"
+
+namespace mbcr::tac {
+
+struct LineStats {
+  Addr line = 0;
+  std::uint64_t count = 0;
+  std::uint64_t signature_mask = 0;  ///< bit b: accessed in trace bucket b
+  std::vector<std::uint32_t> positions;  ///< access indices in the sequence
+};
+
+/// One temporal-equivalence class of lines.
+struct AccessCluster {
+  std::uint64_t signature_mask = 0;
+  std::uint32_t log2_count = 0;
+  std::vector<std::size_t> line_indices;  ///< into the LineStats vector
+
+  std::size_t size() const { return line_indices.size(); }
+};
+
+struct ReuseProfile {
+  std::vector<LineStats> lines;
+  std::vector<AccessCluster> clusters;  ///< sorted by total accesses, desc
+  std::size_t sequence_length = 0;
+};
+
+/// Builds per-line stats and clusters for a cache-line access sequence.
+/// `buckets` controls temporal signature granularity (<= 64).
+ReuseProfile profile_sequence(std::span<const Addr> line_seq,
+                              std::size_t buckets = 32);
+
+}  // namespace mbcr::tac

@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mbcr {
+
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec,
+         std::string description)
+    : values_(std::move(spec)) {
+  auto usage = [&](int code) {
+    std::cerr << description << "\nFlags (default):\n";
+    for (const auto& [k, v] : values_) {
+      std::cerr << "  --" << k << " (" << (v.empty() ? "\"\"" : v) << ")\n";
+    }
+    std::exit(code);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(0);
+    if (arg.rfind("--", 0) != 0) {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      usage(2);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::cerr << "flag --" << arg << " needs a value\n";
+      usage(2);
+    }
+    const auto it = values_.find(arg);
+    if (it == values_.end()) {
+      std::cerr << "unknown flag --" << arg << "\n";
+      usage(2);
+    }
+    it->second = value;
+  }
+}
+
+std::string Cli::str(const std::string& name) const {
+  return values_.at(name);
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  return std::stoll(values_.at(name));
+}
+
+double Cli::real(const std::string& name) const {
+  return std::stod(values_.at(name));
+}
+
+bool Cli::flag(const std::string& name) const {
+  const std::string& v = values_.at(name);
+  return v == "1" || v == "true" || v == "yes";
+}
+
+}  // namespace mbcr

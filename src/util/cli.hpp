@@ -1,0 +1,29 @@
+// Tiny command-line flag parser shared by benches and examples.
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// that typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mbcr {
+
+class Cli {
+public:
+  /// Parses argv. `spec` maps flag name (without dashes) to default value;
+  /// only flags present in the spec are accepted. Exits with a usage message
+  /// on error or on `--help`.
+  Cli(int argc, char** argv, std::map<std::string, std::string> spec,
+      std::string description);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool flag(const std::string& name) const;  ///< "1"/"true" => true
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mbcr

@@ -1,0 +1,54 @@
+// Deterministic, jumpable pseudo-random number generation.
+//
+// Measurement campaigns need one independent random stream per run so that
+// (a) results are reproducible from a single master seed and (b) runs can be
+// executed on any number of threads without changing the outcome. We use
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+// splitmix64, which is the recommended seeding procedure for that family.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mbcr {
+
+/// splitmix64 step: advances `state` and returns the next 64-bit value.
+/// Used both as a standalone mixer and to expand seeds for Xoshiro256.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mixing hash over (value, seed); used by the random-placement
+/// cache to derive a per-run address-to-set mapping.
+std::uint64_t mix64(std::uint64_t value, std::uint64_t seed);
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by running splitmix64 on `seed`.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Advances the state by 2^128 steps: partitions the period into
+  /// non-overlapping streams for parallel campaigns.
+  void jump();
+
+  /// Returns a uniformly distributed integer in [0, bound) without modulo
+  /// bias (Lemire's multiply-shift rejection method).
+  std::uint32_t uniform(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace mbcr

@@ -1,0 +1,38 @@
+// Minimal ASCII table and CSV writers for the benchmark harnesses, so that
+// every bench binary prints rows directly comparable to the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbcr {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class AsciiTable {
+public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting of separators; cells must not contain ',').
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string fmt(double value, int digits = 2);
+
+/// Formats runs counts the way the paper's tables do: in thousands,
+/// e.g. 70000 -> "70".
+std::string fmt_kruns(double runs);
+
+}  // namespace mbcr

@@ -1,0 +1,156 @@
+#include "cache/random_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace mbcr {
+namespace {
+
+CacheConfig small_cache() { return CacheConfig{8, 2, 32}; }
+
+TEST(RandomCache, MissThenHit) {
+  RandomCache cache(small_cache(), 1, 2);
+  EXPECT_FALSE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x100));
+  EXPECT_TRUE(cache.access(0x11f));  // same 32B line
+  EXPECT_FALSE(cache.access(0x120));  // next line
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(RandomCache, FlushInvalidatesEverything) {
+  RandomCache cache(small_cache(), 1, 2);
+  cache.access(0x100);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0x100));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RandomCache, PlacementIsStableWithinARun) {
+  RandomCache cache(small_cache(), 123, 5);
+  const Addr line = 77;
+  const std::uint32_t set = cache.set_of_line(line);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(cache.set_of_line(line), set);
+}
+
+TEST(RandomCache, PlacementVariesAcrossSeeds) {
+  const Addr line = 42;
+  std::set<std::uint32_t> sets;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    RandomCache cache(small_cache(), seed, 0);
+    sets.insert(cache.set_of_line(line));
+  }
+  // With 64 seeds over 8 sets, essentially all sets must be reached.
+  EXPECT_GE(sets.size(), 7u);
+}
+
+TEST(RandomCache, PlacementIsUniformAcrossSeeds) {
+  // Empirical uniformity of the placement hash over many runs — the
+  // foundation of TAC's (1/S)^(k-1) model.
+  const CacheConfig cfg = small_cache();
+  std::array<int, 8> hist{};
+  constexpr int kSeeds = 80000;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    RandomCache cache(cfg, static_cast<std::uint64_t>(seed), 0);
+    ++hist[cache.set_of_line(1234)];
+  }
+  const double expected = kSeeds / 8.0;
+  double chi2 = 0;
+  for (int c : hist) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 24.3);  // chi2(7 dof) at 99.9%
+}
+
+TEST(RandomCache, CoMappingProbabilityMatchesModel) {
+  // P(two specific lines share a set) must be 1/S.
+  const CacheConfig cfg = small_cache();
+  int together = 0;
+  constexpr int kSeeds = 100000;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    RandomCache cache(cfg, static_cast<std::uint64_t>(seed), 0);
+    if (cache.set_of_line(10) == cache.set_of_line(999)) ++together;
+  }
+  const double p = static_cast<double>(together) / kSeeds;
+  EXPECT_NEAR(p, 1.0 / 8.0, 0.005);
+}
+
+TEST(RandomCache, WorkingSetWithinWaysStabilizesToAllHits) {
+  // Pure random replacement picks victims regardless of empty ways (the
+  // paper: lines "end up fitting in a cache set after, potentially, few
+  // random replacements"), so a within-capacity working set can miss during
+  // a short transient but must reach the absorbing all-resident state.
+  for (std::uint64_t rseed = 0; rseed < 20; ++rseed) {
+    RandomCache cache(small_cache(), 7, rseed);
+    for (int warmup = 0; warmup < 64; ++warmup) {
+      cache.access_line(1);
+      cache.access_line(2);
+    }
+    for (int round = 0; round < 50; ++round) {
+      EXPECT_TRUE(cache.access_line(1)) << "rseed " << rseed;
+      EXPECT_TRUE(cache.access_line(2)) << "rseed " << rseed;
+    }
+  }
+}
+
+TEST(RandomCache, OverCapacityRoundRobinThrashesWhenCoMapped) {
+  // Find a placement seed mapping three lines into one set of a 2-way
+  // cache; a round-robin over them must then miss heavily (the paper's
+  // "abrupt increase" event).
+  const CacheConfig cfg = small_cache();
+  std::uint64_t seed = 0;
+  for (;; ++seed) {
+    RandomCache probe(cfg, seed, 0);
+    if (probe.set_of_line(1) == probe.set_of_line(2) &&
+        probe.set_of_line(2) == probe.set_of_line(3)) {
+      break;
+    }
+    ASSERT_LT(seed, 100000u);
+  }
+  RandomCache cache(cfg, seed, 99);
+  std::uint64_t accesses = 0;
+  for (int round = 0; round < 300; ++round) {
+    cache.access_line(1);
+    cache.access_line(2);
+    cache.access_line(3);
+    accesses += 3;
+  }
+  const double miss_rate =
+      static_cast<double>(cache.misses()) / static_cast<double>(accesses);
+  // Random replacement on 3 lines / 2 ways in steady state misses ~ 1/3 of
+  // accesses or more.
+  EXPECT_GT(miss_rate, 0.25);
+}
+
+TEST(RandomCache, ReplacementStreamsDiffer) {
+  // Same placement, different replacement seeds => different victim
+  // choices => (eventually) different hit patterns on an over-capacity set.
+  const CacheConfig cfg{1, 2, 32};  // single set: guaranteed conflicts
+  std::vector<bool> h1;
+  std::vector<bool> h2;
+  RandomCache c1(cfg, 0, 111);
+  RandomCache c2(cfg, 0, 222);
+  for (int i = 0; i < 200; ++i) {
+    const Addr line = static_cast<Addr>(i % 3);
+    h1.push_back(c1.access_line(line));
+    h2.push_back(c2.access_line(line));
+  }
+  EXPECT_NE(h1, h2);
+}
+
+TEST(RandomCache, ValidatesConfig) {
+  EXPECT_THROW(RandomCache(CacheConfig{0, 2, 32}, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(RandomCache(CacheConfig{8, 2, 33}, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(CacheConfig, SizeAndFactories) {
+  EXPECT_EQ(CacheConfig::paper_l1().size_bytes(), 4096u);
+  EXPECT_EQ(CacheConfig::example_s8w4().sets, 8u);
+  EXPECT_EQ(CacheConfig::example_s8w4().ways, 4u);
+}
+
+}  // namespace
+}  // namespace mbcr

@@ -1,0 +1,102 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "suite/malardalen.hpp"
+
+namespace mbcr::core {
+namespace {
+
+AnalysisConfig fast_config() {
+  AnalysisConfig cfg;
+  cfg.convergence.max_runs = 20000;
+  cfg.tac.max_runs_cap = 50000;
+  return cfg;
+}
+
+TEST(Analyzer, OriginalAnalysisProducesSanePwcet) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis res = analyzer.analyze_original(b.program,
+                                                     b.default_input);
+  EXPECT_EQ(res.program_name, "bs");
+  EXPECT_EQ(res.r_tac, 0u);
+  EXPECT_GE(res.r_mbpta, analyzer.config().convergence.min_runs);
+  EXPECT_EQ(res.r_total, res.r_mbpta);
+  EXPECT_GT(res.baseline_cycles, 0.0);
+  // pWCET at deep probability dominates the observed body.
+  EXPECT_GT(res.pwcet.at(1e-12), res.baseline_cycles);
+}
+
+TEST(Analyzer, PubbedAnalysisRunsTacAndExtendsCampaign) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis res =
+      analyzer.analyze_pubbed(b.program, b.path_inputs[4]);  // v9
+  EXPECT_EQ(res.program_name, "bs.pub");
+  EXPECT_GE(res.r_tac, 1u);
+  EXPECT_EQ(res.r_total, std::max(res.r_mbpta, res.r_tac));
+  EXPECT_GE(res.pwcet.sample_size(), res.r_total);
+}
+
+TEST(Analyzer, PubbedWithoutTacSkipsIt) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis res =
+      analyzer.analyze_pubbed(b.program, b.default_input, /*with_tac=*/false);
+  EXPECT_EQ(res.r_tac, 0u);
+}
+
+TEST(Analyzer, PubbedPwcetUpperBoundsAllOriginalPathMaxima) {
+  // Corollary 1 at test scale: pWCET of one pubbed path >= observed max of
+  // every original path.
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis pubbed =
+      analyzer.analyze_pubbed(b.program, b.path_inputs[0]);
+  const double pwcet = pubbed.pwcet.at(1e-6);
+  for (const auto& in : b.path_inputs) {
+    const auto times = analyzer.measure(b.program, in, 3000);
+    const double observed_max =
+        *std::max_element(times.begin(), times.end());
+    EXPECT_GE(pwcet, observed_max) << in.label;
+  }
+}
+
+TEST(Analyzer, MeasureIsDeterministic) {
+  const auto b = suite::make_edn();
+  const Analyzer analyzer(fast_config());
+  EXPECT_EQ(analyzer.measure(b.program, b.default_input, 50),
+            analyzer.measure(b.program, b.default_input, 50));
+}
+
+TEST(Analyzer, AnalysisIsReproducible) {
+  const auto b = suite::make_fir();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis r1 = analyzer.analyze_original(b.program,
+                                                    b.default_input);
+  const PathAnalysis r2 = analyzer.analyze_original(b.program,
+                                                    b.default_input);
+  EXPECT_EQ(r1.r_mbpta, r2.r_mbpta);
+  EXPECT_DOUBLE_EQ(r1.pwcet.at(1e-12), r2.pwcet.at(1e-12));
+}
+
+TEST(Report, PrintsAnalysisSummary) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis res = analyzer.analyze_pubbed(b.program,
+                                                   b.default_input);
+  std::ostringstream ss;
+  print_path_analysis(ss, res);
+  EXPECT_NE(ss.str().find("bs.pub"), std::string::npos);
+  EXPECT_NE(ss.str().find("R_tac"), std::string::npos);
+  std::ostringstream curve;
+  print_pwcet_curve(curve, res.pwcet, 12);
+  EXPECT_NE(curve.str().find("exceedance_prob"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbcr::core

@@ -1,0 +1,159 @@
+// End-to-end checks of the paper's central claims at test scale
+// (scaled-down run counts; the bench harness reproduces them at full
+// scale).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/analyzer.hpp"
+#include "mbpta/eccdf.hpp"
+#include "pub/pub_transform.hpp"
+#include "pub/verify.hpp"
+#include "suite/malardalen.hpp"
+
+namespace mbcr::core {
+namespace {
+
+AnalysisConfig fast_config() {
+  AnalysisConfig cfg;
+  cfg.convergence.max_runs = 20000;
+  cfg.tac.max_runs_cap = 50000;
+  return cfg;
+}
+
+// Paper Observation 1 / Fig. 2 at reduced scale: every pubbed path's
+// empirical distribution upper-bounds every original path's.
+TEST(Integration, Fig2PubbedPathsDominateOriginalPaths) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const ir::Program pubbed = pub::apply_pub(b.program);
+
+  constexpr std::size_t kRuns = 4000;
+  std::vector<std::vector<double>> orig_samples;
+  std::vector<std::vector<double>> pub_samples;
+  for (const auto& in : b.path_inputs) {
+    orig_samples.push_back(analyzer.measure(b.program, in, kRuns));
+    pub_samples.push_back(analyzer.measure(pubbed, in, kRuns));
+  }
+  for (std::size_t j = 0; j < pub_samples.size(); ++j) {
+    for (std::size_t i = 0; i < orig_samples.size(); ++i) {
+      // 2% relative slack absorbs sampling noise on the quantile grid.
+      EXPECT_LT(pub::dominance_violation(orig_samples[i], pub_samples[j],
+                                         0.02),
+                0.01)
+          << "pubbed path " << j << " fails to dominate original path " << i;
+    }
+  }
+}
+
+// Paper Sec. 4.1: TAC generally requires at least as many runs as plain
+// MBPTA convergence on the pubbed program.
+TEST(Integration, TacRunsAtLeastConvergenceRunsOnBs) {
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(fast_config());
+  const PathAnalysis res = analyzer.analyze_pubbed(b.program,
+                                                   b.default_input);
+  EXPECT_EQ(res.r_total, std::max(res.r_mbpta, res.r_tac));
+  EXPECT_GE(res.r_total, res.r_mbpta);
+}
+
+// Single-path programs: PUB is innocuous (paper Fig. 5, rightmost six
+// benchmarks) — identical trace, identical campaign, identical pWCET.
+TEST(Integration, PubInnocuousOnSinglePathBenchmarks) {
+  const Analyzer analyzer(fast_config());
+  for (const std::string name : {"matmult", "fdct"}) {
+    const auto b = suite::make_benchmark(name);
+    const auto orig =
+        ir::lower_and_execute(b.program, b.default_input);
+    const auto pubbed = ir::lower_and_execute(
+        pub::apply_pub(b.program), b.default_input);
+    // No conditionals and loops already at their bounds: the pubbed trace
+    // adds nothing.
+    EXPECT_EQ(orig.trace.size(), pubbed.trace.size()) << name;
+  }
+}
+
+// crc: the default input does NOT reach the worst path, and PUB covers
+// the gap with a visible pWCET increase (paper: 4.4x; shape check only).
+TEST(Integration, PubCoversUnobservedCrcPaths) {
+  const auto b = suite::make_crc();
+  const Analyzer analyzer(fast_config());
+  const double orig_mean =
+      [&] {
+        const auto t = analyzer.measure(b.program, b.default_input, 500);
+        return std::accumulate(t.begin(), t.end(), 0.0) / t.size();
+      }();
+  const ir::Program pubbed = pub::apply_pub(b.program);
+  const double pub_mean =
+      [&] {
+        const auto t = analyzer.measure(pubbed, b.default_input, 500);
+        return std::accumulate(t.begin(), t.end(), 0.0) / t.size();
+      }();
+  EXPECT_GT(pub_mean, orig_mean * 1.05);
+}
+
+// The knee mechanism behind Fig. 4: a program whose trace has a rare
+// high-impact layout shows a higher observed max with TAC-sized campaigns
+// than with small ones.
+TEST(Integration, LargerCampaignsSeeDeeperTail) {
+  // Synthetic 5-hot-lines program on the S=8/W=4 cache: knee probability
+  // (1/8)^4 ~ 2.4e-4, invisible in 1000 runs w.h.p., visible in 50k.
+  ir::Program p;
+  p.name = "knee";
+  p.arrays.push_back({"a", 40, {}});
+  p.scalars = {"i", "r"};
+  p.body = ir::for_loop(
+      "r", ir::cst(0), ir::var("r") < ir::cst(200), 1,
+      ir::for_loop("i", ir::cst(0), ir::var("i") < ir::cst(5), 1,
+                   ir::store("a", ir::var("i") * ir::cst(8), ir::cst(1)), 5),
+      200);
+
+  AnalysisConfig cfg = fast_config();
+  cfg.machine.dl1 = CacheConfig::example_s8w4();
+  cfg.machine.il1 = CacheConfig{256, 4, 32};  // keep icache quiet
+  const Analyzer analyzer(cfg);
+  const auto small_sample = analyzer.measure(p, {}, 1000);
+  const auto big_sample = analyzer.measure(p, {}, 60000);
+  const double small_max =
+      *std::max_element(small_sample.begin(), small_sample.end());
+  const double big_max =
+      *std::max_element(big_sample.begin(), big_sample.end());
+  // The rare co-mapped layout costs ~1000 extra misses: unmistakable.
+  EXPECT_GT(big_max, small_max * 1.5);
+}
+
+// And TAC predicts a campaign size that actually captures that knee.
+TEST(Integration, TacSizedCampaignCapturesKnee) {
+  ir::Program p;
+  p.name = "knee2";
+  p.arrays.push_back({"a", 40, {}});
+  p.scalars = {"i", "r"};
+  p.body = ir::for_loop(
+      "r", ir::cst(0), ir::var("r") < ir::cst(200), 1,
+      ir::for_loop("i", ir::cst(0), ir::var("i") < ir::cst(5), 1,
+                   ir::store("a", ir::var("i") * ir::cst(8), ir::cst(1)), 5),
+      200);
+  AnalysisConfig cfg = fast_config();
+  cfg.machine.dl1 = CacheConfig::example_s8w4();
+  cfg.machine.il1 = CacheConfig{256, 4, 32};
+  cfg.tac.max_runs_cap = 200000;
+  const Analyzer analyzer(cfg);
+
+  const auto exec = ir::lower_and_execute(p, {});
+  const auto tac_res = tac::analyze_trace(
+      exec.trace, cfg.machine.il1, cfg.machine.dl1,
+      /*baseline_cycles=*/50000.0,
+      static_cast<double>(cfg.machine.timing.mem_latency), cfg.tac);
+  // One 5-line class on the DL1: ~85k runs, the paper's Sec. 3.1.1 figure.
+  EXPECT_GE(tac_res.dl1.required_runs, 60000u);
+  EXPECT_LE(tac_res.dl1.required_runs, 120000u);
+
+  // A TAC-sized campaign observes the abrupt event.
+  const auto sample = analyzer.measure(p, {}, tac_res.dl1.required_runs);
+  const mbpta::Eccdf ecc(sample);
+  EXPECT_GT(ecc.max(), 1.5 * ecc.value_at_exceedance(0.5));
+}
+
+}  // namespace
+}  // namespace mbcr::core

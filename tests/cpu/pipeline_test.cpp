@@ -1,0 +1,65 @@
+#include "cpu/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr {
+namespace {
+
+TEST(TimingParams, CostModel) {
+  TimingParams t;  // issue 1, dl1 hit 1, mem 100
+  EXPECT_EQ(t.cost(AccessKind::kIFetch, true), 1u);
+  EXPECT_EQ(t.cost(AccessKind::kIFetch, false), 101u);
+  EXPECT_EQ(t.cost(AccessKind::kLoad, true), 1u);
+  EXPECT_EQ(t.cost(AccessKind::kLoad, false), 101u);
+  EXPECT_EQ(t.cost(AccessKind::kStore, false), 101u);
+}
+
+TEST(ExecuteTrace, AllHitsAfterWarmup) {
+  // One icache line fetched repeatedly: 1 miss + N-1 hits.
+  MemTrace trace;
+  for (int i = 0; i < 10; ++i) trace.emit(0x1000, AccessKind::kIFetch);
+  LruCache il1(CacheConfig{8, 2, 32});
+  LruCache dl1(CacheConfig{8, 2, 32});
+  const TimingParams t;
+  const std::uint64_t cycles = execute_trace(trace, il1, dl1, t);
+  EXPECT_EQ(cycles, 101u + 9u * 1u);
+}
+
+TEST(ExecuteTrace, MixedSides) {
+  MemTrace trace;
+  trace.emit(0x1000, AccessKind::kIFetch);  // miss: 101
+  trace.emit(0x8000, AccessKind::kLoad);    // miss: 101
+  trace.emit(0x1000, AccessKind::kIFetch);  // hit: 1
+  trace.emit(0x8000, AccessKind::kStore);   // hit: 1
+  LruCache il1(CacheConfig{8, 2, 32});
+  LruCache dl1(CacheConfig{8, 2, 32});
+  const TimingParams t;
+  EXPECT_EQ(execute_trace(trace, il1, dl1, t), 204u);
+}
+
+TEST(ExecuteTrace, InstructionAndDataCachesAreIndependent) {
+  // The same line number on different sides must not hit across caches.
+  MemTrace trace;
+  trace.emit(0x2000, AccessKind::kIFetch);
+  trace.emit(0x2000, AccessKind::kLoad);
+  LruCache il1(CacheConfig{8, 2, 32});
+  LruCache dl1(CacheConfig{8, 2, 32});
+  const TimingParams t;
+  EXPECT_EQ(execute_trace(trace, il1, dl1, t), 202u);  // both miss
+}
+
+TEST(ExecuteTrace, WorksWithRandomCaches) {
+  MemTrace trace;
+  for (int r = 0; r < 5; ++r) {
+    trace.emit(0x1000, AccessKind::kIFetch);
+    trace.emit(0x8000, AccessKind::kLoad);
+  }
+  RandomCache il1(CacheConfig{8, 2, 32}, 1, 2);
+  RandomCache dl1(CacheConfig{8, 2, 32}, 3, 4);
+  const TimingParams t;
+  // 2 cold misses + 8 hits: 2*101 + 8*1.
+  EXPECT_EQ(execute_trace(trace, il1, dl1, t), 210u);
+}
+
+}  // namespace
+}  // namespace mbcr

@@ -1,0 +1,72 @@
+#include "cpu/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr {
+namespace {
+
+MemTrace sample_trace() {
+  MemTrace t;
+  t.emit(0x1000, AccessKind::kIFetch);
+  t.emit(0x1004, AccessKind::kIFetch);
+  t.emit(0x8000, AccessKind::kLoad);
+  t.emit(0x1020, AccessKind::kIFetch);
+  t.emit(0x8004, AccessKind::kStore);
+  t.emit(0x8040, AccessKind::kLoad);
+  return t;
+}
+
+TEST(MemTrace, LineSequenceSplitsSides) {
+  const MemTrace t = sample_trace();
+  const auto ilines = t.line_sequence(true);
+  const auto dlines = t.line_sequence(false);
+  EXPECT_EQ(ilines, (std::vector<Addr>{0x1000 / 32, 0x1000 / 32, 0x1020 / 32}));
+  EXPECT_EQ(dlines, (std::vector<Addr>{0x8000 / 32, 0x8000 / 32, 0x8040 / 32}));
+}
+
+TEST(MemTrace, UniqueLines) {
+  const MemTrace t = sample_trace();
+  EXPECT_EQ(t.unique_lines(true), 2u);
+  EXPECT_EQ(t.unique_lines(false), 2u);
+}
+
+TEST(CompactTrace, DenseIdsRoundTrip) {
+  const MemTrace t = sample_trace();
+  const CompactTrace c = CompactTrace::from(t);
+  ASSERT_EQ(c.size(), t.size());
+  EXPECT_EQ(c.ilines.size(), 2u);
+  EXPECT_EQ(c.dlines.size(), 2u);
+  // Entry 0 and 1 share the first IL1 line id.
+  EXPECT_EQ(c.entries[0].line_id, c.entries[1].line_id);
+  EXPECT_EQ(c.entries[0].is_instr, 1);
+  EXPECT_EQ(c.entries[2].is_instr, 0);
+  // Dense ids point back at the right line numbers.
+  EXPECT_EQ(c.ilines[c.entries[0].line_id], Addr{0x1000 / 32});
+  EXPECT_EQ(c.dlines[c.entries[5].line_id], Addr{0x8040 / 32});
+}
+
+TEST(CompactTrace, EmptyTrace) {
+  const CompactTrace c = CompactTrace::from(MemTrace{});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.ilines.empty());
+  EXPECT_TRUE(c.dlines.empty());
+}
+
+TEST(IsSubsequence, Basics) {
+  const std::vector<Addr> hay{1, 2, 3, 4, 5};
+  EXPECT_TRUE(is_subsequence(std::vector<Addr>{}, hay));
+  EXPECT_TRUE(is_subsequence(std::vector<Addr>{1, 3, 5}, hay));
+  EXPECT_TRUE(is_subsequence(hay, hay));
+  EXPECT_FALSE(is_subsequence(std::vector<Addr>{3, 1}, hay));
+  EXPECT_FALSE(is_subsequence(std::vector<Addr>{1, 6}, hay));
+  EXPECT_FALSE(is_subsequence(hay, std::vector<Addr>{1, 2, 3}));
+}
+
+TEST(IsSubsequence, RepeatedElements) {
+  const std::vector<Addr> hay{1, 1, 2, 1};
+  EXPECT_TRUE(is_subsequence(std::vector<Addr>{1, 1, 1}, hay));
+  EXPECT_FALSE(is_subsequence(std::vector<Addr>{1, 1, 1, 1}, hay));
+}
+
+}  // namespace
+}  // namespace mbcr

@@ -1,0 +1,62 @@
+#include "ir/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr::ir {
+namespace {
+
+TEST(Expr, ConstructorsSetKinds) {
+  EXPECT_EQ(cst(5)->kind, Expr::Kind::kConst);
+  EXPECT_EQ(var("x")->kind, Expr::Kind::kVar);
+  EXPECT_EQ(ld("a", cst(0))->kind, Expr::Kind::kIndex);
+  EXPECT_EQ((var("x") + cst(1))->kind, Expr::Kind::kBin);
+  EXPECT_EQ(un(UnOp::kNeg, cst(1))->kind, Expr::Kind::kUn);
+  EXPECT_EQ(select(cst(1), cst(2), cst(3))->kind, Expr::Kind::kSelect);
+}
+
+TEST(Expr, OperatorSugarBuildsExpectedOps) {
+  const ExprPtr e = var("x") * cst(3) + ld("a", var("i"));
+  ASSERT_EQ(e->kind, Expr::Kind::kBin);
+  EXPECT_EQ(e->bin, BinOp::kAdd);
+  EXPECT_EQ(e->a->bin, BinOp::kMul);
+  EXPECT_EQ(e->b->name, "a");
+}
+
+TEST(Expr, OpCountCountsNodes) {
+  EXPECT_EQ(cst(1)->op_count(), 1u);
+  EXPECT_EQ((cst(1) + cst(2))->op_count(), 3u);
+  EXPECT_EQ(select(var("c"), cst(1), cst(2))->op_count(), 4u);
+  EXPECT_EQ(ld("a", var("i") + cst(1))->op_count(), 4u);
+}
+
+TEST(Expr, LoadCountCountsArrayReads) {
+  EXPECT_EQ(var("x")->load_count(), 0u);
+  EXPECT_EQ(ld("a", cst(0))->load_count(), 1u);
+  EXPECT_EQ((ld("a", cst(0)) + ld("b", ld("a", cst(1))))->load_count(), 3u);
+  EXPECT_EQ(select(cst(1), ld("a", cst(0)), ld("a", cst(1)))->load_count(),
+            2u);
+}
+
+TEST(Expr, StructuralEquality) {
+  EXPECT_TRUE(expr_equal(cst(4), cst(4)));
+  EXPECT_FALSE(expr_equal(cst(4), cst(5)));
+  EXPECT_TRUE(expr_equal(var("x") + cst(1), var("x") + cst(1)));
+  EXPECT_FALSE(expr_equal(var("x") + cst(1), var("y") + cst(1)));
+  EXPECT_FALSE(expr_equal(var("x") + cst(1), var("x") - cst(1)));
+  EXPECT_TRUE(expr_equal(ld("a", var("i")), ld("a", var("i"))));
+  EXPECT_FALSE(expr_equal(ld("a", var("i")), ld("b", var("i"))));
+  EXPECT_TRUE(expr_equal(select(var("c"), cst(1), cst(2)),
+                         select(var("c"), cst(1), cst(2))));
+  EXPECT_FALSE(expr_equal(nullptr, cst(1)));
+  EXPECT_TRUE(expr_equal(nullptr, nullptr));
+}
+
+TEST(Expr, ToStringReadable) {
+  EXPECT_EQ(to_string(cst(7)), "7");
+  EXPECT_EQ(to_string(var("x") + cst(1)), "(x + 1)");
+  EXPECT_EQ(to_string(ld("a", var("i"))), "a[i]");
+  EXPECT_EQ(to_string(select(var("c"), cst(1), cst(0))), "(c ? 1 : 0)");
+}
+
+}  // namespace
+}  // namespace mbcr::ir

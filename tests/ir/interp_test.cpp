@@ -1,0 +1,269 @@
+#include "ir/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/printer.hpp"
+
+namespace mbcr::ir {
+namespace {
+
+Program sum_program() {
+  // x = sum of a[0..3]
+  Program p;
+  p.name = "sum";
+  p.arrays.push_back({"a", 4, {10, 20, 30, 40}});
+  p.scalars = {"x", "i"};
+  p.body = seq({
+      assign("x", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(4), 1,
+               assign("x", var("x") + ld("a", var("i"))), 4),
+  });
+  return p;
+}
+
+TEST(Interp, ComputesCorrectResult) {
+  const ExecResult r = lower_and_execute(sum_program(), {});
+  EXPECT_EQ(r.env.scalars.at("x"), 100);
+}
+
+TEST(Interp, InputVectorOverridesState) {
+  InputVector in;
+  in.arrays["a"] = {1, 2, 3, 4};
+  const ExecResult r = lower_and_execute(sum_program(), in);
+  EXPECT_EQ(r.env.scalars.at("x"), 10);
+}
+
+TEST(Interp, EmitsInstructionAndDataAccesses) {
+  const ExecResult r = lower_and_execute(sum_program(), {});
+  std::size_t ifetches = 0;
+  std::size_t loads = 0;
+  for (const Access& a : r.trace.accesses) {
+    if (a.kind == AccessKind::kIFetch) ++ifetches;
+    if (a.kind == AccessKind::kLoad) ++loads;
+  }
+  EXPECT_GT(ifetches, 0u);
+  EXPECT_EQ(loads, 4u);  // one array read per iteration
+}
+
+TEST(Interp, TraceIsDeterministic) {
+  // Same program INSTANCE: re-execution is bit-identical. (Two factory
+  // calls build distinct statement ids, so their tokens differ by design —
+  // tokens are only comparable within one program family.)
+  const Program p = sum_program();
+  const ExecResult r1 = lower_and_execute(p, {});
+  const ExecResult r2 = lower_and_execute(p, {});
+  EXPECT_EQ(r1.trace.accesses, r2.trace.accesses);
+  EXPECT_EQ(r1.tokens, r2.tokens);
+}
+
+TEST(Interp, StoreEmitsStoreAccess) {
+  Program p;
+  p.name = "st";
+  p.arrays.push_back({"a", 2, {}});
+  p.scalars = {};
+  p.body = store("a", cst(1), cst(42));
+  const ExecResult r = lower_and_execute(p, {});
+  bool found_store = false;
+  for (const Access& a : r.trace.accesses) {
+    if (a.kind == AccessKind::kStore) found_store = true;
+  }
+  EXPECT_TRUE(found_store);
+  EXPECT_EQ(r.env.arrays.at("a")[1], 42);
+}
+
+TEST(Interp, IfTakesCorrectBranchAndRecordsPath) {
+  Program p;
+  p.name = "br";
+  p.scalars = {"c", "x"};
+  p.body = if_else(var("c") > cst(0), assign("x", cst(1)),
+                   assign("x", cst(2)));
+  InputVector pos;
+  pos.scalars["c"] = 5;
+  InputVector neg;
+  neg.scalars["c"] = -5;
+  const ExecResult rp = lower_and_execute(p, pos);
+  const ExecResult rn = lower_and_execute(p, neg);
+  EXPECT_EQ(rp.env.scalars.at("x"), 1);
+  EXPECT_EQ(rn.env.scalars.at("x"), 2);
+  ASSERT_EQ(rp.path.events.size(), 1u);
+  EXPECT_EQ(rp.path.events[0].second, 1u);
+  EXPECT_EQ(rn.path.events[0].second, 0u);
+}
+
+TEST(Interp, WhileLoopRecordsTripCount) {
+  Program p;
+  p.name = "wh";
+  p.scalars = {"x"};
+  p.body = seq({
+      assign("x", cst(0)),
+      while_loop(var("x") < cst(3), assign("x", var("x") + cst(1)), 10),
+  });
+  const ExecResult r = lower_and_execute(p, {});
+  // Last event is the loop with 3 trips.
+  ASSERT_FALSE(r.path.events.empty());
+  EXPECT_EQ(r.path.events.back().second, 3u);
+}
+
+TEST(Interp, LoopBoundViolationThrows) {
+  Program p;
+  p.name = "bad";
+  p.scalars = {"x"};
+  p.body = seq({
+      assign("x", cst(0)),
+      while_loop(var("x") < cst(100), assign("x", var("x") + cst(1)), 5),
+  });
+  EXPECT_THROW(lower_and_execute(p, {}), ExecError);
+}
+
+TEST(Interp, DivisionByZeroThrows) {
+  Program p;
+  p.name = "div";
+  p.scalars = {"x", "y"};
+  p.body = assign("x", cst(1) / var("y"));
+  EXPECT_THROW(lower_and_execute(p, {}), ExecError);
+  InputVector ok;
+  ok.scalars["y"] = 2;
+  EXPECT_NO_THROW(lower_and_execute(p, ok));
+}
+
+TEST(Interp, OutOfBoundsIndexThrows) {
+  Program p;
+  p.name = "oob";
+  p.arrays.push_back({"a", 4, {}});
+  p.scalars = {"i"};
+  p.body = assign("i", ld("a", cst(4)));
+  EXPECT_THROW(lower_and_execute(p, {}), ExecError);
+  Program p2 = p;
+  p2.body = assign("i", ld("a", cst(0) - cst(1)));
+  EXPECT_THROW(lower_and_execute(p2, {}), ExecError);
+}
+
+TEST(Interp, UndeclaredInputRejected) {
+  InputVector in;
+  in.scalars["nope"] = 1;
+  EXPECT_THROW(lower_and_execute(sum_program(), in), ExecError);
+  InputVector in2;
+  in2.arrays["missing"] = {1};
+  EXPECT_THROW(lower_and_execute(sum_program(), in2), ExecError);
+  InputVector in3;
+  in3.arrays["a"] = {1, 2, 3, 4, 5};  // longer than declared
+  EXPECT_THROW(lower_and_execute(sum_program(), in3), ExecError);
+}
+
+TEST(Interp, SelectEvaluatesBothSides) {
+  Program p;
+  p.name = "sel";
+  p.arrays.push_back({"a", 2, {5, 9}});
+  p.scalars = {"c", "x"};
+  p.body = assign("x", select(var("c"), ld("a", cst(0)), ld("a", cst(1))));
+  InputVector in;
+  in.scalars["c"] = 1;
+  const ExecResult r = lower_and_execute(p, in);
+  EXPECT_EQ(r.env.scalars.at("x"), 5);
+  std::size_t loads = 0;
+  for (const Access& a : r.trace.accesses) {
+    if (a.kind == AccessKind::kLoad) ++loads;
+  }
+  EXPECT_EQ(loads, 2u);  // both arms touch memory: predication, not a branch
+}
+
+TEST(Interp, GhostRegionLeavesStateUntouchedButEmitsAccesses) {
+  Program p;
+  p.name = "gh";
+  p.arrays.push_back({"a", 2, {7, 8}});
+  p.scalars = {"x"};
+  p.body = seq({
+      assign("x", cst(1)),
+      ghost(seq({assign("x", cst(99)), store("a", cst(0), cst(55))})),
+  });
+  const ExecResult r = lower_and_execute(p, {});
+  EXPECT_EQ(r.env.scalars.at("x"), 1);       // ghost write discarded
+  EXPECT_EQ(r.env.arrays.at("a")[0], 7);     // ghost store discarded
+  bool ghost_store_as_load = false;
+  for (const Access& a : r.trace.accesses) {
+    if (a.kind == AccessKind::kLoad) ghost_store_as_load = true;
+    EXPECT_NE(a.kind, AccessKind::kStore);  // store demoted inside ghost
+  }
+  EXPECT_TRUE(ghost_store_as_load);
+}
+
+TEST(Interp, GhostBranchDecisionsNotInPath) {
+  Program p;
+  p.name = "ghp";
+  p.scalars = {"x"};
+  p.body = seq({
+      assign("x", cst(1)),
+      ghost(if_else(var("x") > cst(0), assign("x", cst(2)),
+                    assign("x", cst(3)))),
+  });
+  const ExecResult r = lower_and_execute(p, {});
+  EXPECT_TRUE(r.path.events.empty());  // only the ghost if executed
+  EXPECT_EQ(r.env.scalars.at("x"), 1);
+}
+
+TEST(Interp, PadToMaxRunsGhostIterations) {
+  Program p;
+  p.name = "pad";
+  p.arrays.push_back({"a", 8, {}});
+  p.scalars = {"i", "n"};
+  const StmtPtr body = store("a", var("i"), var("i"));
+  const StmtPtr loop =
+      for_loop("i", cst(0), var("i") < var("n"), 1, body, 8);
+  loop->pad_to_max = true;
+  p.body = loop;
+  InputVector in;
+  in.scalars["n"] = 3;
+
+  const ExecResult r = lower_and_execute(p, in);
+  // Natural iterations write a[0..2]; ghost iterations touch a[3..7]
+  // without writing.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.env.arrays.at("a")[i], i);
+  for (int i = 3; i < 8; ++i) EXPECT_EQ(r.env.arrays.at("a")[i], 0);
+  std::size_t data_accesses = 0;
+  for (const Access& a : r.trace.accesses) {
+    if (a.kind != AccessKind::kIFetch) ++data_accesses;
+  }
+  EXPECT_EQ(data_accesses, 8u);  // one per padded iteration
+  // Path signature still records the NATURAL trip count.
+  EXPECT_EQ(r.path.events.back().second, 3u);
+}
+
+TEST(Interp, PaddedTraceLengthIsInputInvariant) {
+  Program p;
+  p.name = "pad2";
+  p.arrays.push_back({"a", 8, {}});
+  p.scalars = {"i", "n"};
+  const StmtPtr loop = for_loop("i", cst(0), var("i") < var("n"), 1,
+                                store("a", var("i"), cst(1)), 8);
+  loop->pad_to_max = true;
+  p.body = loop;
+  std::size_t sizes[3];
+  int k = 0;
+  for (Value n : {1, 4, 8}) {
+    InputVector in;
+    in.scalars["n"] = n;
+    sizes[k++] = lower_and_execute(p, in).trace.size();
+  }
+  EXPECT_EQ(sizes[0], sizes[1]);
+  EXPECT_EQ(sizes[1], sizes[2]);
+}
+
+TEST(Interp, StepBudgetGuardsRunaways) {
+  Program p;
+  p.name = "guard";
+  p.scalars = {"i"};
+  p.body = for_loop("i", cst(0), var("i") < cst(1000), 1, nop(), 1000);
+  ExecOptions opt;
+  opt.max_leaf_steps = 100;
+  EXPECT_THROW(lower_and_execute(p, {}, opt), ExecError);
+}
+
+TEST(Printer, RendersProgram) {
+  const std::string s = to_string(sum_program());
+  EXPECT_NE(s.find("program sum"), std::string::npos);
+  EXPECT_NE(s.find("for (i = 0;"), std::string::npos);
+  EXPECT_NE(s.find("a[4]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbcr::ir

@@ -1,0 +1,119 @@
+#include "ir/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mbcr::ir {
+namespace {
+
+Program tiny_program() {
+  Program p;
+  p.name = "tiny";
+  p.arrays.push_back({"a", 8, {}});
+  p.scalars = {"x", "i"};
+  p.body = seq({
+      assign("x", cst(0)),
+      for_loop("i", cst(0), var("i") < cst(4), 1,
+               store("a", var("i"), var("x") + var("i")), 4),
+  });
+  return p;
+}
+
+TEST(Lower, AssignsCodeSpansToAllBlocks) {
+  const Program p = tiny_program();
+  const Linked linked = lower(p);
+  const StmtPtr& asg = p.body->children[0];
+  const StmtPtr& loop = p.body->children[1];
+  EXPECT_TRUE(linked.code.contains(Linked::slot_self(asg->id)));
+  EXPECT_TRUE(linked.code.contains(Linked::slot_init(loop->id)));
+  EXPECT_TRUE(linked.code.contains(Linked::slot_cond(loop->id)));
+  EXPECT_TRUE(linked.code.contains(Linked::slot_step(loop->id)));
+  EXPECT_TRUE(
+      linked.code.contains(Linked::slot_self(loop->children[0]->id)));
+}
+
+TEST(Lower, CodeSpansAreDisjointAndOrdered) {
+  const Program p = tiny_program();
+  const Linked linked = lower(p, 0x1000, 0x8000);
+  std::set<std::pair<Addr, Addr>> spans;
+  for (const auto& [key, span] : linked.code) {
+    EXPECT_GE(span.base, Addr{0x1000});
+    EXPECT_GT(span.n_instr, 0u);
+    spans.insert({span.base, span.base + span.n_instr * kInstrBytes});
+  }
+  Addr prev_end = 0;
+  for (const auto& [begin, end] : spans) {
+    EXPECT_GE(begin, prev_end);
+    prev_end = end;
+  }
+}
+
+TEST(Lower, InstructionCountTracksExpressionSize) {
+  Program p;
+  p.name = "sz";
+  p.scalars = {"x"};
+  const StmtPtr small = assign("x", cst(1));
+  const StmtPtr big = assign("x", (var("x") + cst(1)) * (var("x") - cst(2)));
+  p.body = seq({small, big});
+  const Linked linked = lower(p);
+  EXPECT_LT(linked.span(Linked::slot_self(small->id)).n_instr,
+            linked.span(Linked::slot_self(big->id)).n_instr);
+}
+
+TEST(Lower, ArraysGetDataAddresses) {
+  Program p;
+  p.name = "arr";
+  p.arrays.push_back({"a", 4, {}});
+  p.arrays.push_back({"b", 4, {}});
+  p.scalars = {};
+  p.body = seq({store("a", cst(0), cst(1)), store("b", cst(0), cst(2))});
+  const Linked linked = lower(p, 0x1000, 0x8000);
+  EXPECT_EQ(linked.array_base.at("a"), Addr{0x8000});
+  EXPECT_EQ(linked.array_base.at("b"), Addr{0x8010});  // 4 * 4 bytes later
+}
+
+TEST(Lower, DataLayoutIndependentOfCodeSize) {
+  // Two programs with identical arrays but different bodies place arrays
+  // identically — the property the PUB token check relies on.
+  Program p1 = tiny_program();
+  Program p2 = tiny_program();
+  p2.body = seq({p2.body, assign("x", var("x") + cst(1))});
+  const Linked l1 = lower(p1);
+  const Linked l2 = lower(p2);
+  EXPECT_EQ(l1.array_base.at("a"), l2.array_base.at("a"));
+}
+
+TEST(Lower, ValidatesProgram) {
+  Program p;
+  p.name = "bad";
+  p.scalars = {"x"};
+  p.body = assign("y", cst(1));  // undeclared scalar
+  EXPECT_THROW(lower(p), std::invalid_argument);
+}
+
+TEST(Validate, CatchesCommonMistakes) {
+  Program p;
+  p.name = "v";
+  p.scalars = {"x"};
+  p.arrays.push_back({"a", 4, {}});
+
+  p.body = while_loop(var("x") < cst(3), assign("x", var("x") + cst(1)), 0);
+  EXPECT_THROW(validate(p), std::invalid_argument);  // missing bound
+
+  p.body = store("nope", cst(0), cst(1));
+  EXPECT_THROW(validate(p), std::invalid_argument);  // unknown array
+
+  p.body = assign("x", ld("a", var("zz")));
+  EXPECT_THROW(validate(p), std::invalid_argument);  // unknown scalar
+
+  p.body = assign("x", cst(0));
+  EXPECT_NO_THROW(validate(p));
+
+  Program dup = p;
+  dup.arrays.push_back({"a", 4, {}});
+  EXPECT_THROW(validate(dup), std::invalid_argument);  // duplicate array
+}
+
+}  // namespace
+}  // namespace mbcr::ir

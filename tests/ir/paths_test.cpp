@@ -1,0 +1,51 @@
+#include "ir/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr::ir {
+namespace {
+
+TEST(PathSignature, EqualityAndHash) {
+  PathSignature a;
+  a.events = {{1, 1}, {2, 0}};
+  PathSignature b = a;
+  PathSignature c;
+  c.events = {{1, 1}, {2, 1}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(PathSignature, HashIsOrderSensitive) {
+  PathSignature a;
+  a.events = {{1, 1}, {2, 0}};
+  PathSignature b;
+  b.events = {{2, 0}, {1, 1}};
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(PathSignature, Outcomes) {
+  PathSignature a;
+  a.events = {{10, 1}, {20, 4}, {30, 0}};
+  EXPECT_EQ(a.outcomes(), (std::vector<std::uint64_t>{1, 4, 0}));
+}
+
+TEST(DistinctPaths, KeepsFirstOccurrences) {
+  PathSignature a;
+  a.events = {{1, 1}};
+  PathSignature b;
+  b.events = {{1, 0}};
+  const std::vector<PathSignature> paths{a, b, a, b, a};
+  EXPECT_EQ(distinct_paths(paths), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(DistinctPaths, EmptyAndAllSame) {
+  EXPECT_TRUE(distinct_paths({}).empty());
+  PathSignature a;
+  a.events = {{3, 2}};
+  EXPECT_EQ(distinct_paths({a, a, a}), (std::vector<std::size_t>{0}));
+}
+
+}  // namespace
+}  // namespace mbcr::ir

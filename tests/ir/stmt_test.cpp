@@ -1,0 +1,89 @@
+#include "ir/stmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr::ir {
+namespace {
+
+TEST(Stmt, IdsAreUnique) {
+  const StmtPtr a = assign("x", cst(1));
+  const StmtPtr b = assign("x", cst(1));
+  EXPECT_NE(a->id, b->id);
+  EXPECT_EQ(a->origin, a->id);
+}
+
+TEST(Stmt, CloneGetsFreshIdsButKeepsOrigin) {
+  const StmtPtr orig = seq({assign("x", cst(1)), store("a", cst(0), var("x"))});
+  const StmtPtr copy = clone(orig);
+  EXPECT_NE(copy->id, orig->id);
+  EXPECT_EQ(copy->origin, orig->origin);
+  ASSERT_EQ(copy->children.size(), 2u);
+  EXPECT_NE(copy->children[0]->id, orig->children[0]->id);
+  EXPECT_EQ(copy->children[0]->origin, orig->children[0]->origin);
+  EXPECT_TRUE(stmt_equal(copy, orig));
+}
+
+TEST(Stmt, CloneOfCloneKeepsRootOrigin) {
+  const StmtPtr orig = assign("x", cst(1));
+  const StmtPtr c2 = clone(clone(orig));
+  EXPECT_EQ(c2->origin, orig->id);
+}
+
+TEST(Stmt, GhostOfGhostCollapses) {
+  const StmtPtr g = ghost(assign("x", cst(1)));
+  const StmtPtr gg = ghost(g);
+  EXPECT_EQ(gg, g);
+}
+
+TEST(Stmt, StructuralEquality) {
+  EXPECT_TRUE(stmt_equal(assign("x", cst(1)), assign("x", cst(1))));
+  EXPECT_FALSE(stmt_equal(assign("x", cst(1)), assign("y", cst(1))));
+  EXPECT_FALSE(stmt_equal(assign("x", cst(1)), store("x", cst(0), cst(1))));
+  EXPECT_TRUE(stmt_equal(
+      if_else(var("c"), assign("x", cst(1)), assign("x", cst(2))),
+      if_else(var("c"), assign("x", cst(1)), assign("x", cst(2)))));
+  EXPECT_FALSE(stmt_equal(
+      for_loop("i", cst(0), var("i") < cst(5), 1, nop(), 5),
+      for_loop("i", cst(0), var("i") < cst(5), 1, nop(), 6)));
+}
+
+TEST(Stmt, IsStraightLine) {
+  EXPECT_TRUE(is_straight_line(assign("x", cst(1))));
+  EXPECT_TRUE(is_straight_line(seq({assign("x", cst(1)), nop()})));
+  EXPECT_FALSE(is_straight_line(if_else(var("c"), nop())));
+  EXPECT_FALSE(is_straight_line(
+      seq({assign("x", cst(1)), while_loop(var("c"), nop(), 3)})));
+}
+
+TEST(Stmt, LeavesFlattensNestedSeqs) {
+  const StmtPtr s = seq({
+      assign("a", cst(1)),
+      seq({assign("b", cst(2)), nop(), assign("c", cst(3))}),
+  });
+  const auto ls = leaves(s);
+  ASSERT_EQ(ls.size(), 3u);
+  EXPECT_EQ(ls[0]->name, "a");
+  EXPECT_EQ(ls[1]->name, "b");
+  EXPECT_EQ(ls[2]->name, "c");
+}
+
+TEST(Stmt, StmtCount) {
+  EXPECT_EQ(stmt_count(nullptr), 0u);
+  EXPECT_EQ(stmt_count(assign("x", cst(1))), 1u);
+  const StmtPtr s =
+      seq({assign("x", cst(1)), if_else(var("c"), nop(), nop())});
+  EXPECT_EQ(stmt_count(s), 5u);
+}
+
+TEST(Stmt, ForLoopFields) {
+  const StmtPtr f =
+      for_loop("i", cst(0), var("i") < cst(8), 2, assign("x", var("i")), 4);
+  EXPECT_EQ(f->kind, Stmt::Kind::kFor);
+  EXPECT_EQ(f->name, "i");
+  EXPECT_EQ(f->step, 2);
+  EXPECT_EQ(f->max_trips, 4u);
+  EXPECT_FALSE(f->pad_to_max);
+}
+
+}  // namespace
+}  // namespace mbcr::ir

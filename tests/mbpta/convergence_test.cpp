@@ -1,0 +1,103 @@
+#include "mbpta/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mbcr::mbpta {
+namespace {
+
+Sampler exponential_sampler(double rate, std::uint64_t seed) {
+  auto rng = std::make_shared<Xoshiro256>(seed);
+  return [rng, rate](std::size_t k) {
+    std::vector<double> out;
+    out.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      out.push_back(1000.0 - std::log(1.0 - rng->uniform01()) / rate);
+    }
+    return out;
+  };
+}
+
+TEST(Convergence, ConvergesOnStationaryDistribution) {
+  ConvergenceConfig cfg;
+  cfg.max_runs = 100000;
+  const ConvergenceResult res = converge(exponential_sampler(0.05, 1), cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.runs, cfg.min_runs);
+  EXPECT_LE(res.runs, cfg.max_runs);
+  EXPECT_EQ(res.sample.size(), res.runs);
+}
+
+TEST(Convergence, EstimateNearAnalyticQuantile) {
+  ConvergenceConfig cfg;
+  cfg.max_runs = 200000;
+  cfg.probability = 1e-9;
+  const double rate = 0.05;
+  const ConvergenceResult res = converge(exponential_sampler(rate, 2), cfg);
+  ASSERT_TRUE(res.converged);
+  const double truth = 1000.0 - std::log(1e-9) / rate;
+  EXPECT_NEAR(res.estimates.back(), truth, 0.15 * truth);
+}
+
+TEST(Convergence, RespectsMinRuns) {
+  ConvergenceConfig cfg;
+  cfg.min_runs = 1000;
+  const ConvergenceResult res = converge(exponential_sampler(0.1, 3), cfg);
+  EXPECT_GE(res.runs, 1000u);
+}
+
+TEST(Convergence, DegenerateDistributionConvergesAtWindowFill) {
+  // A constant distribution converges as soon as the stability window has
+  // its `window` estimates (min_runs plus a few growth steps).
+  ConvergenceConfig cfg;
+  const ConvergenceResult res = converge(
+      [](std::size_t k) { return std::vector<double>(k, 500.0); }, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.runs, cfg.min_runs);
+  EXPECT_LE(res.runs, 1000u);
+}
+
+TEST(Convergence, NonStationarySamplerDoesNotConverge) {
+  // Each chunk shifts upward: estimates keep moving; must hit max_runs.
+  auto state = std::make_shared<double>(0.0);
+  auto rng = std::make_shared<Xoshiro256>(4);
+  ConvergenceConfig cfg;
+  cfg.max_runs = 5000;
+  const ConvergenceResult res = converge(
+      [state, rng](std::size_t k) {
+        std::vector<double> out;
+        for (std::size_t i = 0; i < k; ++i) {
+          *state += 1.0;
+          out.push_back(*state + rng->uniform01());
+        }
+        return out;
+      },
+      cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.sample.size(), cfg.max_runs);
+}
+
+TEST(Convergence, DeterministicGivenSampler) {
+  ConvergenceConfig cfg;
+  const ConvergenceResult r1 = converge(exponential_sampler(0.05, 9), cfg);
+  const ConvergenceResult r2 = converge(exponential_sampler(0.05, 9), cfg);
+  EXPECT_EQ(r1.runs, r2.runs);
+  EXPECT_EQ(r1.estimates, r2.estimates);
+}
+
+TEST(Convergence, TighterToleranceNeedsMoreRuns) {
+  ConvergenceConfig loose;
+  loose.tolerance = 0.2;
+  ConvergenceConfig tight;
+  tight.tolerance = 0.005;
+  tight.max_runs = 300000;
+  const auto rl = converge(exponential_sampler(0.02, 5), loose);
+  const auto rt = converge(exponential_sampler(0.02, 5), tight);
+  EXPECT_LE(rl.runs, rt.runs);
+}
+
+}  // namespace
+}  // namespace mbcr::mbpta

@@ -1,0 +1,55 @@
+#include "mbpta/iid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mbcr::mbpta {
+namespace {
+
+TEST(Iid, AcceptsIndependentSample) {
+  Xoshiro256 rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.uniform01() * 100);
+  const IidReport rep = check_iid(xs);
+  EXPECT_TRUE(rep.independent) << rep.summary();
+  EXPECT_TRUE(rep.identically_distributed) << rep.summary();
+  EXPECT_TRUE(rep.passed());
+}
+
+TEST(Iid, RejectsAutocorrelatedSample) {
+  Xoshiro256 rng(2);
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 5000; ++i) {
+    xs.push_back(0.9 * xs.back() + rng.uniform01());
+  }
+  const IidReport rep = check_iid(xs);
+  EXPECT_FALSE(rep.independent) << rep.summary();
+}
+
+TEST(Iid, RejectsDistributionDrift) {
+  Xoshiro256 rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.uniform01());
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.uniform01() + 0.5);
+  const IidReport rep = check_iid(xs);
+  EXPECT_FALSE(rep.identically_distributed) << rep.summary();
+}
+
+TEST(Iid, SmallSamplesPassByDefault) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_TRUE(check_iid(xs).passed());
+}
+
+TEST(Iid, SummaryMentionsVerdict) {
+  Xoshiro256 rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform01());
+  EXPECT_NE(check_iid(xs).summary().find("i.i.d."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mbcr::mbpta

@@ -1,0 +1,65 @@
+#include "mem/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mbcr {
+namespace {
+
+TEST(MemoryLayout, AllocatesSequentially) {
+  MemoryLayout layout(0x1000, 0x8000);
+  const Addr a = layout.alloc_data("a", 64);
+  const Addr b = layout.alloc_data("b", 32);
+  EXPECT_EQ(a, 0x8000u);
+  EXPECT_EQ(b, 0x8040u);
+}
+
+TEST(MemoryLayout, CodeAndDataSegmentsAreSeparate) {
+  MemoryLayout layout(0x1000, 0x8000);
+  const Addr text = layout.alloc_code("text", 256);
+  const Addr data = layout.alloc_data("data", 256);
+  EXPECT_EQ(text, 0x1000u);
+  EXPECT_EQ(data, 0x8000u);
+}
+
+TEST(MemoryLayout, RespectsAlignment) {
+  MemoryLayout layout;
+  layout.alloc_data("pad", 3);
+  const Addr aligned = layout.alloc_data("v", 8, 32);
+  EXPECT_EQ(aligned % 32, 0u);
+}
+
+TEST(MemoryLayout, RegionsDoNotOverlap) {
+  MemoryLayout layout;
+  layout.alloc_data("x", 100, 4);
+  layout.alloc_data("y", 100, 4);
+  const auto& rx = layout.region("x");
+  const auto& ry = layout.region("y");
+  EXPECT_GE(ry.base, rx.base + rx.size);
+}
+
+TEST(MemoryLayout, LookupByName) {
+  MemoryLayout layout;
+  layout.alloc_data("arr", 40);
+  EXPECT_TRUE(layout.has_region("arr"));
+  EXPECT_FALSE(layout.has_region("nope"));
+  EXPECT_EQ(layout.region("arr").size, 40u);
+  EXPECT_THROW(layout.region("nope"), std::out_of_range);
+}
+
+TEST(MemoryLayout, RejectsDuplicatesAndBadArgs) {
+  MemoryLayout layout;
+  layout.alloc_data("a", 8);
+  EXPECT_THROW(layout.alloc_data("a", 8), std::invalid_argument);
+  EXPECT_THROW(layout.alloc_data("z", 0), std::invalid_argument);
+  EXPECT_THROW(layout.alloc_data("w", 8, 3), std::invalid_argument);
+}
+
+TEST(AddressHelpers, LineOf) {
+  EXPECT_EQ(line_of(0, 32), 0u);
+  EXPECT_EQ(line_of(31, 32), 0u);
+  EXPECT_EQ(line_of(32, 32), 1u);
+  EXPECT_EQ(line_of(0x1000, 32), 0x1000u / 32);
+}
+
+}  // namespace
+}  // namespace mbcr

@@ -1,0 +1,84 @@
+#include "platform/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "mbpta/iid.hpp"
+#include "suite/malardalen.hpp"
+
+namespace mbcr::platform {
+namespace {
+
+CompactTrace test_trace() {
+  const auto b = suite::make_bs();
+  return CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  CampaignConfig seq_cfg;
+  seq_cfg.threads = 1;
+  CampaignConfig par_cfg;
+  par_cfg.threads = 8;
+  const auto a = run_campaign(machine, trace, 2000, seq_cfg);
+  const auto b = run_campaign(machine, trace, 2000, par_cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Campaign, MasterSeedChangesSample) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  CampaignConfig c1;
+  c1.master_seed = 1;
+  CampaignConfig c2;
+  c2.master_seed = 2;
+  EXPECT_NE(run_campaign(machine, trace, 100, c1),
+            run_campaign(machine, trace, 100, c2));
+}
+
+TEST(Campaign, FirstRunOffsetContinuesSequence) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  const CampaignConfig cfg;
+  const auto all = run_campaign(machine, trace, 200, cfg, 0);
+  const auto head = run_campaign(machine, trace, 120, cfg, 0);
+  const auto tail = run_campaign(machine, trace, 80, cfg, 120);
+  std::vector<double> glued = head;
+  glued.insert(glued.end(), tail.begin(), tail.end());
+  EXPECT_EQ(all, glued);
+}
+
+TEST(Campaign, ZeroRunsIsEmpty) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  EXPECT_TRUE(run_campaign(machine, trace, 0).empty());
+}
+
+TEST(CampaignSampler, ChunksMatchOneShotCampaign) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  const CampaignConfig cfg;
+  CampaignSampler sampler(machine, trace, cfg);
+  std::vector<double> collected;
+  for (std::size_t chunk : {100, 250, 50}) {
+    const auto c = sampler(chunk);
+    collected.insert(collected.end(), c.begin(), c.end());
+  }
+  EXPECT_EQ(sampler.runs_done(), 400u);
+  EXPECT_EQ(collected, run_campaign(machine, trace, 400, cfg));
+}
+
+TEST(Campaign, SamplesLookIid) {
+  // The per-run randomization is the source of i.i.d.-ness MBPTA needs:
+  // check the statistical tests accept a real campaign.
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  const auto times = run_campaign(machine, trace, 4000, {});
+  const mbpta::IidReport rep = mbcr::mbpta::check_iid(times, 0.001);
+  EXPECT_TRUE(rep.passed()) << rep.summary();
+}
+
+}  // namespace
+}  // namespace mbcr::platform

@@ -1,0 +1,100 @@
+#include "platform/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "suite/malardalen.hpp"
+#include "util/stats.hpp"
+
+namespace mbcr::platform {
+namespace {
+
+MemTrace bs_like_trace() {
+  const auto b = suite::make_bs();
+  return ir::lower_and_execute(b.program, b.default_input).trace;
+}
+
+TEST(Machine, FastReplayMatchesReferenceImplementation) {
+  const MemTrace trace = bs_like_trace();
+  const CompactTrace compact = CompactTrace::from(trace);
+  const Machine machine;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_EQ(machine.run_once(compact, seed),
+              machine.run_once_reference(trace, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(Machine, DeterministicPerSeed) {
+  const CompactTrace compact = CompactTrace::from(bs_like_trace());
+  const Machine machine;
+  EXPECT_EQ(machine.run_once(compact, 7), machine.run_once(compact, 7));
+}
+
+TEST(Machine, DifferentSeedsGiveVariability) {
+  const CompactTrace compact = CompactTrace::from(bs_like_trace());
+  const Machine machine;
+  std::vector<double> times;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    times.push_back(static_cast<double>(machine.run_once(compact, s)));
+  }
+  EXPECT_GT(mbcr::stddev(times), 0.0);
+}
+
+TEST(Machine, ExecutionTimeBounds) {
+  // Every run costs at least (all hits) and at most (all misses).
+  const MemTrace trace = bs_like_trace();
+  const CompactTrace compact = CompactTrace::from(trace);
+  const Machine machine;
+  const TimingParams t = machine.config().timing;
+  const std::uint64_t lo = trace.size() * t.issue_cycles;
+  const std::uint64_t hi = trace.size() * (t.issue_cycles + t.mem_latency);
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    const std::uint64_t cycles = machine.run_once(compact, s);
+    EXPECT_GE(cycles, lo);
+    EXPECT_LE(cycles, hi);
+  }
+}
+
+TEST(Machine, BiggerCacheNeverSlowerOnAverage) {
+  const CompactTrace compact = CompactTrace::from(bs_like_trace());
+  MachineConfig small_cfg;
+  small_cfg.il1 = CacheConfig{4, 1, 32};
+  small_cfg.dl1 = CacheConfig{4, 1, 32};
+  MachineConfig big_cfg;
+  big_cfg.il1 = CacheConfig{128, 4, 32};
+  big_cfg.dl1 = CacheConfig{128, 4, 32};
+  const Machine small_m(small_cfg);
+  const Machine big_m(big_cfg);
+  double small_sum = 0;
+  double big_sum = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    small_sum += static_cast<double>(small_m.run_once(compact, s));
+    big_sum += static_cast<double>(big_m.run_once(compact, s));
+  }
+  EXPECT_GT(small_sum, big_sum);
+}
+
+TEST(Machine, FlushedBetweenRuns) {
+  // A trace touching one line twice must always pay exactly one miss per
+  // run (cold start every run).
+  MemTrace trace;
+  trace.emit(0x1000, AccessKind::kIFetch);
+  trace.emit(0x1000, AccessKind::kIFetch);
+  const CompactTrace compact = CompactTrace::from(trace);
+  const Machine machine;
+  const TimingParams t = machine.config().timing;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    EXPECT_EQ(machine.run_once(compact, s),
+              t.issue_cycles * 2 + t.mem_latency);
+  }
+}
+
+TEST(Machine, ValidatesConfig) {
+  MachineConfig cfg;
+  cfg.il1.sets = 0;
+  EXPECT_THROW(Machine{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mbcr::platform

@@ -1,0 +1,120 @@
+// Property-based tests of the PUB invariants, over the hand-written suite
+// and a fuzz population of random structured programs.
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "ir/randprog.hpp"
+#include "pub/pub_transform.hpp"
+#include "pub/verify.hpp"
+#include "suite/malardalen.hpp"
+
+namespace mbcr::pub {
+namespace {
+
+// --- Suite-wide invariant checks, parameterized over benchmarks ---------
+
+class PubSuiteProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PubSuiteProperty, TokensSupersequenceAndStatePreserved) {
+  const suite::SuiteBenchmark b = suite::make_benchmark(GetParam());
+  std::vector<ir::InputVector> inputs = b.path_inputs;
+  if (inputs.empty()) inputs.push_back(b.default_input);
+  for (const auto& in : inputs) {
+    const PubCheckResult res = check_pub(b.program, in);
+    EXPECT_TRUE(res.tokens_are_subsequence)
+        << b.name << " [" << in.label << "]: " << res.detail;
+    EXPECT_TRUE(res.state_preserved)
+        << b.name << " [" << in.label << "]: " << res.detail;
+  }
+}
+
+TEST_P(PubSuiteProperty, AppendGhostVariantAlsoHolds) {
+  const suite::SuiteBenchmark b = suite::make_benchmark(GetParam());
+  PubOptions opt;
+  opt.merge = BranchMerge::kAppendGhost;
+  const PubCheckResult res = check_pub(b.program, b.default_input, opt);
+  EXPECT_TRUE(res.ok()) << b.name << ": " << res.detail;
+}
+
+TEST_P(PubSuiteProperty, PubbedTraceLengthIsPathInvariant) {
+  // Any pubbed path performs the same number of accesses (full padding) —
+  // the structural reason any pubbed path upper-bounds all original paths.
+  const suite::SuiteBenchmark b = suite::make_benchmark(GetParam());
+  if (b.path_inputs.size() < 2) GTEST_SKIP() << "single-path benchmark";
+  const ir::Program pubbed = apply_pub(b.program);
+  std::size_t size0 = 0;
+  for (const auto& in : b.path_inputs) {
+    const std::size_t size =
+        ir::lower_and_execute(pubbed, in).trace.size();
+    if (size0 == 0) {
+      size0 = size;
+    } else {
+      EXPECT_EQ(size, size0) << b.name << " [" << in.label << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malardalen, PubSuiteProperty,
+    ::testing::Values("bs", "cnt", "fir", "janne", "crc", "edn",
+                      "insertsort", "jfdct", "matmult", "fdct", "ns"),
+    [](const auto& info) { return info.param; });
+
+// --- Fuzzing with random programs ----------------------------------------
+
+class PubFuzzProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PubFuzzProperty, InvariantsHoldOnRandomPrograms) {
+  mbcr::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 8; ++iter) {
+    const ir::Program prog = ir::random_program(rng);
+    const ir::Program pubbed = apply_pub(prog);
+    for (int input_iter = 0; input_iter < 3; ++input_iter) {
+      const ir::InputVector in = ir::random_input(prog, rng);
+      const PubCheckResult res = check_pub_invariants(prog, pubbed, in);
+      ASSERT_TRUE(res.tokens_are_subsequence)
+          << "seed block " << GetParam() << " iter " << iter << ": "
+          << res.detail;
+      ASSERT_TRUE(res.state_preserved)
+          << "seed block " << GetParam() << " iter " << iter << ": "
+          << res.detail;
+    }
+  }
+}
+
+TEST_P(PubFuzzProperty, PubIsIdempotentOnTokens) {
+  // Pubbing a pubbed program may add more padding but must keep the
+  // invariants relative to the single-pubbed version.
+  mbcr::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  const ir::Program prog = ir::random_program(rng);
+  const ir::Program pub1 = apply_pub(prog);
+  const ir::Program pub2 = apply_pub(pub1);
+  const ir::InputVector in = ir::random_input(prog, rng);
+  const PubCheckResult res = check_pub_invariants(pub1, pub2, in);
+  EXPECT_TRUE(res.ok()) << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, PubFuzzProperty, ::testing::Range(0, 10));
+
+// --- Verify helpers -------------------------------------------------------
+
+TEST(DominanceViolation, DetectsDirection) {
+  std::vector<double> base;
+  std::vector<double> upper;
+  for (int i = 0; i < 1000; ++i) {
+    base.push_back(100.0 + i % 50);
+    upper.push_back(130.0 + i % 50);
+  }
+  EXPECT_DOUBLE_EQ(dominance_violation(base, upper), 0.0);
+  EXPECT_GT(dominance_violation(upper, base), 0.1);
+}
+
+TEST(DominanceViolation, SlackAbsorbsNoise) {
+  std::vector<double> base{100, 101, 102, 103};
+  std::vector<double> upper{99, 100, 101, 102};  // 1% below
+  EXPECT_GT(dominance_violation(base, upper, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dominance_violation(base, upper, 0.05), 0.0);
+}
+
+}  // namespace
+}  // namespace mbcr::pub

@@ -1,0 +1,216 @@
+#include "pub/pub_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "pub/verify.hpp"
+#include "suite/malardalen.hpp"
+
+namespace mbcr::pub {
+namespace {
+
+using ir::assign;
+using ir::cst;
+using ir::ExecResult;
+using ir::if_else;
+using ir::InputVector;
+using ir::ld;
+using ir::lower_and_execute;
+using ir::Program;
+using ir::seq;
+using ir::Stmt;
+using ir::StmtPtr;
+using ir::store;
+using ir::var;
+using ir::while_loop;
+
+Program branchy_program() {
+  Program p;
+  p.name = "branchy";
+  p.arrays.push_back({"a", 8, {1, 2, 3, 4, 5, 6, 7, 8}});
+  p.scalars = {"c", "x", "y"};
+  p.body = seq({
+      if_else(var("c") > cst(0),
+              seq({assign("x", ld("a", cst(0))),
+                   assign("y", ld("a", cst(1)))}),
+              seq({assign("y", ld("a", cst(2))),
+                   store("a", cst(3), cst(9))})),
+  });
+  return p;
+}
+
+TEST(PubTransform, PubbedProgramValidates) {
+  const Program pubbed = apply_pub(branchy_program());
+  EXPECT_EQ(pubbed.name, "branchy.pub");
+  EXPECT_NO_THROW(ir::validate(pubbed));
+}
+
+TEST(PubTransform, BothBranchesContainGhosts) {
+  const Program pubbed = apply_pub(branchy_program());
+  const std::string printed = ir::to_string(pubbed.body);
+  EXPECT_NE(printed.find("ghost {"), std::string::npos);
+}
+
+TEST(PubTransform, CodeIsInflated) {
+  const Program orig = branchy_program();
+  const Program pubbed = apply_pub(orig);
+  EXPECT_GT(ir::stmt_count(pubbed.body), ir::stmt_count(orig.body));
+}
+
+TEST(PubTransform, SemanticsPreservedOnBothPaths) {
+  const Program orig = branchy_program();
+  const Program pubbed = apply_pub(orig);
+  for (ir::Value c : {-1, 1}) {
+    InputVector in;
+    in.label = c > 0 ? "then" : "else";
+    in.scalars["c"] = c;
+    const ExecResult r0 = lower_and_execute(orig, in);
+    const ExecResult r1 = lower_and_execute(pubbed, in);
+    EXPECT_EQ(r0.env.scalars, r1.env.scalars) << in.label;
+    EXPECT_EQ(r0.env.arrays, r1.env.arrays) << in.label;
+  }
+}
+
+TEST(PubTransform, TokensAreSupersequenceOnBothPaths) {
+  const Program orig = branchy_program();
+  for (ir::Value c : {-1, 1}) {
+    InputVector in;
+    in.scalars["c"] = c;
+    const PubCheckResult res = check_pub(orig, in);
+    EXPECT_TRUE(res.tokens_are_subsequence) << res.detail;
+    EXPECT_TRUE(res.state_preserved) << res.detail;
+    EXPECT_GT(res.pub_tokens, res.orig_tokens);
+  }
+}
+
+TEST(PubTransform, AppendGhostStrategyAlsoUpperBounds) {
+  const Program orig = branchy_program();
+  PubOptions opt;
+  opt.merge = BranchMerge::kAppendGhost;
+  for (ir::Value c : {-1, 1}) {
+    InputVector in;
+    in.scalars["c"] = c;
+    const PubCheckResult res = check_pub(orig, in, opt);
+    EXPECT_TRUE(res.ok()) << res.detail;
+  }
+}
+
+TEST(PubTransform, ScsInterleaveInsertsNoMoreThanAppend) {
+  const Program orig = branchy_program();
+  PubOptions scs_opt;
+  PubOptions app_opt;
+  app_opt.merge = BranchMerge::kAppendGhost;
+  InputVector in;
+  in.scalars["c"] = 1;
+  const ExecResult scs_run =
+      lower_and_execute(apply_pub(orig, scs_opt), in);
+  const ExecResult app_run =
+      lower_and_execute(apply_pub(orig, app_opt), in);
+  EXPECT_LE(scs_run.trace.size(), app_run.trace.size());
+}
+
+TEST(PubTransform, LoopsArePaddedToBound) {
+  Program p;
+  p.name = "looppad";
+  p.arrays.push_back({"a", 8, {}});
+  p.scalars = {"i", "n"};
+  p.body = ir::for_loop("i", cst(0), var("i") < var("n"), 1,
+                        store("a", var("i"), cst(1)), 8);
+  const Program pubbed = apply_pub(p);
+
+  std::size_t last_size = 0;
+  for (ir::Value n : {2, 5, 8}) {
+    InputVector in;
+    in.scalars["n"] = n;
+    const ExecResult r = lower_and_execute(pubbed, in);
+    if (last_size != 0) {
+      EXPECT_EQ(r.trace.size(), last_size)
+          << "padded trace length must be input-invariant";
+    }
+    last_size = r.trace.size();
+  }
+}
+
+TEST(PubTransform, LoopPaddingCanBeDisabled) {
+  Program p;
+  p.name = "nopad";
+  p.scalars = {"i", "n"};
+  p.body = ir::for_loop("i", cst(0), var("i") < var("n"), 1, ir::nop(), 8);
+  PubOptions opt;
+  opt.pad_loops = false;
+  const Program pubbed = apply_pub(p, opt);
+  InputVector in2;
+  in2.scalars["n"] = 2;
+  InputVector in8;
+  in8.scalars["n"] = 8;
+  EXPECT_NE(lower_and_execute(pubbed, in2).trace.size(),
+            lower_and_execute(pubbed, in8).trace.size());
+}
+
+TEST(PubTransform, IfWithoutElseGetsGhostElse) {
+  Program p;
+  p.name = "noelse";
+  p.arrays.push_back({"a", 4, {}});
+  p.scalars = {"c"};
+  p.body = if_else(var("c") > cst(0), store("a", cst(0), cst(1)));
+  const Program pubbed = apply_pub(p);
+  // The not-taken path must still touch a[0] (as a ghost load).
+  InputVector in;
+  in.scalars["c"] = -1;
+  const ExecResult r = lower_and_execute(pubbed, in);
+  bool touches_a = false;
+  for (const auto& acc : r.trace.accesses) {
+    if (!acc.is_instruction()) touches_a = true;
+  }
+  EXPECT_TRUE(touches_a);
+  EXPECT_EQ(r.env.arrays.at("a")[0], 0);  // but never writes it
+}
+
+TEST(PubTransform, NestedConditionalsHandledInnermostFirst) {
+  Program p;
+  p.name = "nested";
+  p.arrays.push_back({"a", 8, {}});
+  p.scalars = {"c", "d", "x"};
+  p.body = if_else(
+      var("c") > cst(0),
+      if_else(var("d") > cst(0), assign("x", ld("a", cst(0))),
+              assign("x", ld("a", cst(1)))),
+      assign("x", ld("a", cst(2))));
+  for (ir::Value c : {-1, 1}) {
+    for (ir::Value d : {-1, 1}) {
+      InputVector in;
+      in.scalars["c"] = c;
+      in.scalars["d"] = d;
+      const PubCheckResult res = check_pub(p, in);
+      EXPECT_TRUE(res.ok()) << "c=" << c << " d=" << d << ": " << res.detail;
+    }
+  }
+}
+
+TEST(PubTransform, PubbedPathsHaveEqualDataFootprints) {
+  // After pubbing, then-path and else-path of a simple conditional touch
+  // the same multiset of data lines (that is the whole point).
+  const Program pubbed = apply_pub(branchy_program());
+  auto data_lines = [&](ir::Value c) {
+    InputVector in;
+    in.scalars["c"] = c;
+    auto lines =
+        lower_and_execute(pubbed, in).trace.line_sequence(false);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(data_lines(1), data_lines(-1));
+}
+
+TEST(PubTransform, WholeSuitePubs) {
+  for (const auto& b : suite::malardalen_suite()) {
+    EXPECT_NO_THROW({
+      const Program pubbed = apply_pub(b.program);
+      lower_and_execute(pubbed, b.default_input);
+    }) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace mbcr::pub

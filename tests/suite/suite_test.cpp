@@ -1,0 +1,235 @@
+#include "suite/malardalen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ir/interp.hpp"
+#include "ir/paths.hpp"
+
+namespace mbcr::suite {
+namespace {
+
+using ir::ExecResult;
+using ir::lower_and_execute;
+
+TEST(Suite, HasElevenBenchmarksInTable2Order) {
+  const auto all = malardalen_suite();
+  ASSERT_EQ(all.size(), 11u);
+  const std::vector<std::string> expected{
+      "bs",  "cnt",        "fir",   "janne",   "crc", "edn",
+      "insertsort", "jfdct", "matmult", "fdct", "ns"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(all[i].name, expected[i]);
+  }
+}
+
+TEST(Suite, LookupByName) {
+  EXPECT_EQ(make_benchmark("bs").name, "bs");
+  EXPECT_THROW(make_benchmark("unknown"), std::out_of_range);
+}
+
+TEST(Suite, AllDefaultInputsExecute) {
+  for (const auto& b : malardalen_suite()) {
+    EXPECT_NO_THROW(lower_and_execute(b.program, b.default_input))
+        << b.name;
+  }
+}
+
+TEST(Suite, AllPathInputsExecute) {
+  for (const auto& b : malardalen_suite()) {
+    for (const auto& in : b.path_inputs) {
+      EXPECT_NO_THROW(lower_and_execute(b.program, in))
+          << b.name << " " << in.label;
+    }
+  }
+}
+
+TEST(Suite, SinglePathFlagsMatchPaper) {
+  const std::set<std::string> single{"edn", "insertsort", "jfdct",
+                                     "matmult", "fdct", "ns"};
+  for (const auto& b : malardalen_suite()) {
+    EXPECT_EQ(b.single_path, single.contains(b.name)) << b.name;
+    EXPECT_EQ(b.default_hits_worst_path, b.name != "crc") << b.name;
+  }
+}
+
+TEST(Suite, BsHasEightDistinctMaxIterationPaths) {
+  const SuiteBenchmark bs = make_bs();
+  ASSERT_EQ(bs.path_inputs.size(), 8u);
+  std::vector<ir::PathSignature> paths;
+  for (const auto& in : bs.path_inputs) {
+    const ExecResult r = lower_and_execute(bs.program, in);
+    // Every one of these searches takes the maximum 4 iterations.
+    EXPECT_EQ(r.path.events.back().second, 4u) << in.label;
+    // ...and finds its key.
+    EXPECT_GE(r.env.scalars.at("fvalue"), 100) << in.label;
+    paths.push_back(r.path);
+  }
+  EXPECT_EQ(ir::distinct_paths(paths).size(), 8u);
+}
+
+TEST(Suite, BsFindsCorrectValues) {
+  const SuiteBenchmark bs = make_bs();
+  // v1 searches the key at position 0 => value 100.
+  const ExecResult r = lower_and_execute(bs.program, bs.path_inputs[0]);
+  EXPECT_EQ(r.env.scalars.at("fvalue"), 100);
+  // An absent key yields -1.
+  ir::InputVector absent;
+  absent.label = "absent";
+  absent.scalars["x"] = 2;  // keys are odd
+  const ExecResult ra = lower_and_execute(bs.program, absent);
+  EXPECT_EQ(ra.env.scalars.at("fvalue"), -1);
+}
+
+TEST(Suite, CntCountsCorrectly) {
+  const SuiteBenchmark cnt = make_cnt();
+  const ExecResult r = lower_and_execute(cnt.program, cnt.default_input);
+  EXPECT_EQ(r.env.scalars.at("poscnt"), 100);  // all-positive default
+  EXPECT_EQ(r.env.scalars.at("negcnt"), 0);
+  const ExecResult rn =
+      lower_and_execute(cnt.program, cnt.path_inputs[1]);  // allneg
+  EXPECT_EQ(rn.env.scalars.at("poscnt"), 0);
+  EXPECT_EQ(rn.env.scalars.at("negcnt"), 100);
+}
+
+TEST(Suite, CntPathsDiffer) {
+  const SuiteBenchmark cnt = make_cnt();
+  std::vector<ir::PathSignature> paths;
+  for (const auto& in : cnt.path_inputs) {
+    paths.push_back(lower_and_execute(cnt.program, in).path);
+  }
+  EXPECT_EQ(ir::distinct_paths(paths).size(), cnt.path_inputs.size());
+}
+
+TEST(Suite, FirDefaultTakesHeavyBranchEverywhere) {
+  const SuiteBenchmark fir = make_fir();
+  const ExecResult r = lower_and_execute(fir.program, fir.default_input);
+  // All outputs went through the scale-store branch: out[j] = sum>>5 + 1>0.
+  const auto& out = r.env.arrays.at("out");
+  for (std::size_t j = 7; j < out.size(); ++j) {
+    EXPECT_GT(out[j], 0) << "sample " << j;
+  }
+  // The negative input clamps at least one output to zero.
+  const ExecResult rn = lower_and_execute(fir.program, fir.path_inputs[1]);
+  const auto& outn = rn.env.arrays.at("out");
+  EXPECT_TRUE(std::any_of(outn.begin() + 7, outn.end(),
+                          [](ir::Value v) { return v == 0; }));
+}
+
+TEST(Suite, JanneTerminatesWithinBounds) {
+  const SuiteBenchmark janne = make_janne();
+  for (const auto& in : janne.path_inputs) {
+    const ExecResult r = lower_and_execute(janne.program, in);
+    EXPECT_GE(r.env.arrays.at("io")[0], 30) << in.label;  // a >= 30 at exit
+  }
+}
+
+TEST(Suite, JanneBoundsHoldOverWholeInputDomain) {
+  // The declared loop bounds (16/16) must be safe for every admissible
+  // input (0 <= a, b <= 30), or PUB's padded version would be unsound.
+  const SuiteBenchmark janne = make_janne();
+  const ir::Linked linked = ir::lower(janne.program);
+  for (ir::Value a = 0; a <= 30; ++a) {
+    for (ir::Value b = 0; b <= 30; ++b) {
+      ir::InputVector in;
+      in.arrays["io"] = {a, b};
+      EXPECT_NO_THROW(ir::execute(janne.program, linked, in))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Suite, CrcMatchesReferenceImplementation) {
+  // Independent C++ implementation of the same bit-serial CRC.
+  const SuiteBenchmark crc = make_crc();
+  const auto& msg = crc.default_input.arrays.at("msg");
+  std::uint64_t ans = 0;
+  for (const auto byte : msg) {
+    ans ^= static_cast<std::uint64_t>(byte) << 8;
+    for (int k = 0; k < 8; ++k) {
+      if (ans & 0x8000) {
+        ans = ((ans << 1) ^ 0x1021) & 0xffff;
+      } else {
+        ans = (ans << 1) & 0xffff;
+      }
+    }
+  }
+  const ExecResult r = lower_and_execute(crc.program, crc.default_input);
+  EXPECT_EQ(r.env.arrays.at("out")[0], static_cast<ir::Value>(ans));
+}
+
+TEST(Suite, CrcPathsDependOnData) {
+  const SuiteBenchmark crc = make_crc();
+  const ExecResult r0 = lower_and_execute(crc.program, crc.path_inputs[1]);
+  const ExecResult r1 = lower_and_execute(crc.program, crc.path_inputs[2]);
+  EXPECT_FALSE(r0.path == r1.path);
+}
+
+TEST(Suite, InsertsortSortsAndIsSinglePath) {
+  const SuiteBenchmark is = make_insertsort();
+  const ExecResult r = lower_and_execute(is.program, is.default_input);
+  const auto& a = r.env.arrays.at("a");
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+
+  // Single-path: a different input yields the identical path signature and
+  // the identical trace length.
+  ir::InputVector other;
+  other.label = "sorted";
+  other.arrays["a"] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const ExecResult r2 = lower_and_execute(is.program, other);
+  EXPECT_TRUE(r.path == r2.path);
+  EXPECT_EQ(r.trace.size(), r2.trace.size());
+  const auto& a2 = r2.env.arrays.at("a");
+  EXPECT_TRUE(std::is_sorted(a2.begin(), a2.end()));
+}
+
+TEST(Suite, MatmultMatchesReference) {
+  const SuiteBenchmark mm = make_matmult();
+  const ExecResult r = lower_and_execute(mm.program, mm.default_input);
+  // Reference multiply with the same deterministic initializers.
+  constexpr int kDim = 12;
+  const auto* a = &mm.program.find_array("A")->init;
+  const auto* b = &mm.program.find_array("B")->init;
+  for (int i = 0; i < kDim; ++i) {
+    for (int j = 0; j < kDim; ++j) {
+      ir::Value acc = 0;
+      for (int k = 0; k < kDim; ++k) {
+        acc += (*a)[i * kDim + k] * (*b)[k * kDim + j];
+      }
+      EXPECT_EQ(r.env.arrays.at("C")[i * kDim + j], acc);
+    }
+  }
+}
+
+TEST(Suite, NsFindsTarget) {
+  const SuiteBenchmark ns = make_ns();
+  const ExecResult r = lower_and_execute(ns.program, ns.default_input);
+  EXPECT_EQ(r.env.arrays.at("answer")[0], 624);  // default target: last key
+}
+
+TEST(Suite, SinglePathBenchmarksHaveInputInvariantTraces) {
+  for (const auto& b : malardalen_suite()) {
+    if (!b.single_path) continue;
+    const ExecResult r1 = lower_and_execute(b.program, b.default_input);
+    // Perturb inputs: single-path traces must not change shape.
+    ir::InputVector in2 = b.default_input;
+    for (auto& [name, v] : in2.scalars) v = v / 2 + 1;
+    const ExecResult r2 = lower_and_execute(b.program, in2);
+    EXPECT_TRUE(r1.path == r2.path) << b.name;
+    EXPECT_EQ(r1.trace.size(), r2.trace.size()) << b.name;
+  }
+}
+
+TEST(Suite, TraceSizesAreCampaignFriendly) {
+  // Replay cost budget: keep every benchmark trace under ~100k accesses.
+  for (const auto& b : malardalen_suite()) {
+    const ExecResult r = lower_and_execute(b.program, b.default_input);
+    EXPECT_GT(r.trace.size(), 100u) << b.name;
+    EXPECT_LT(r.trace.size(), 100'000u) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace mbcr::suite

@@ -1,0 +1,95 @@
+#include "tac/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mbcr::tac {
+namespace {
+
+std::vector<Addr> round_robin(std::initializer_list<Addr> lines, int reps) {
+  std::vector<Addr> seq;
+  for (int r = 0; r < reps; ++r) {
+    for (Addr l : lines) seq.push_back(l);
+  }
+  return seq;
+}
+
+TEST(ReuseProfile, CountsAndPositions) {
+  const auto seq = round_robin({1, 2, 3}, 4);
+  const ReuseProfile p = profile_sequence(seq);
+  ASSERT_EQ(p.lines.size(), 3u);
+  EXPECT_EQ(p.sequence_length, 12u);
+  for (const auto& ls : p.lines) {
+    EXPECT_EQ(ls.count, 4u);
+    EXPECT_EQ(ls.positions.size(), 4u);
+  }
+  EXPECT_EQ(p.lines[0].line, 1u);
+  EXPECT_EQ(p.lines[0].positions[1], 3u);
+}
+
+TEST(ReuseProfile, SymmetricLinesShareOneCluster) {
+  const auto seq = round_robin({10, 20, 30, 40, 50}, 100);
+  const ReuseProfile p = profile_sequence(seq);
+  ASSERT_EQ(p.clusters.size(), 1u);
+  EXPECT_EQ(p.clusters[0].size(), 5u);
+}
+
+TEST(ReuseProfile, PhaseSeparatedLinesSplitClusters) {
+  // First half of the trace touches {1,2}, second half {3,4}: two clusters.
+  std::vector<Addr> seq;
+  for (int i = 0; i < 100; ++i) seq.push_back(1 + (i % 2));
+  for (int i = 0; i < 100; ++i) seq.push_back(3 + (i % 2));
+  const ReuseProfile p = profile_sequence(seq);
+  ASSERT_EQ(p.clusters.size(), 2u);
+  EXPECT_EQ(p.clusters[0].size(), 2u);
+  EXPECT_EQ(p.clusters[1].size(), 2u);
+}
+
+TEST(ReuseProfile, CountMagnitudeSplitsClusters) {
+  // A line accessed 100x in the same phase as lines accessed 4x must not
+  // share their cluster.
+  std::vector<Addr> seq;
+  for (int i = 0; i < 100; ++i) {
+    seq.push_back(1);
+    if (i % 25 == 0) {
+      seq.push_back(2);
+      seq.push_back(3);
+    }
+  }
+  const ReuseProfile p = profile_sequence(seq);
+  EXPECT_GE(p.clusters.size(), 2u);
+}
+
+TEST(ReuseProfile, ClustersSortedByHotness) {
+  std::vector<Addr> seq;
+  for (int i = 0; i < 10; ++i) seq.push_back(100);  // cold-ish line
+  for (int i = 0; i < 1000; ++i) seq.push_back(1 + (i % 3));  // hot lines
+  const ReuseProfile p = profile_sequence(seq);
+  ASSERT_GE(p.clusters.size(), 2u);
+  std::uint64_t first_total = 0;
+  for (std::size_t idx : p.clusters[0].line_indices) {
+    first_total += p.lines[idx].count;
+  }
+  std::uint64_t second_total = 0;
+  for (std::size_t idx : p.clusters[1].line_indices) {
+    second_total += p.lines[idx].count;
+  }
+  EXPECT_GE(first_total, second_total);
+}
+
+TEST(ReuseProfile, EmptySequence) {
+  const ReuseProfile p = profile_sequence({});
+  EXPECT_TRUE(p.lines.empty());
+  EXPECT_TRUE(p.clusters.empty());
+  EXPECT_EQ(p.sequence_length, 0u);
+}
+
+TEST(ReuseProfile, BucketParameterClamped) {
+  const auto seq = round_robin({1, 2}, 10);
+  EXPECT_NO_THROW(profile_sequence(seq, 0));
+  EXPECT_NO_THROW(profile_sequence(seq, 200));
+}
+
+}  // namespace
+}  // namespace mbcr::tac

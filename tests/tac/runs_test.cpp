@@ -1,0 +1,170 @@
+#include "tac/runs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mbcr::tac {
+namespace {
+
+std::vector<Addr> round_robin(int n_lines, int reps) {
+  std::vector<Addr> seq;
+  for (int r = 0; r < reps; ++r) {
+    for (int l = 0; l < n_lines; ++l) seq.push_back(static_cast<Addr>(l + 1));
+  }
+  return seq;
+}
+
+TEST(RunsForProbability, EdgeCases) {
+  EXPECT_EQ(runs_for_probability(0.0, 1e-9), 0u);
+  EXPECT_EQ(runs_for_probability(-1.0, 1e-9), 0u);
+  EXPECT_EQ(runs_for_probability(1.0, 1e-9), 1u);
+  EXPECT_EQ(runs_for_probability(0.5, 0.0), 0u);
+}
+
+TEST(RunsForProbability, PaperSec311WorkedExample) {
+  // p = (1/8)^4 = 0.000244..., target 1e-9 => R > ~84873 ("R > 84875" in
+  // the paper's rounding).
+  const double p = std::pow(1.0 / 8.0, 4);
+  const std::size_t r = runs_for_probability(p, 1e-9);
+  EXPECT_GE(r, 84000u);
+  EXPECT_LE(r, 85500u);
+}
+
+TEST(RunsForProbability, PaperSec312WorkedExample) {
+  // p = (1/8)^4 * 6 = 0.00146... => R > 14138.
+  const double p = std::pow(1.0 / 8.0, 4) * 6.0;
+  const std::size_t r = runs_for_probability(p, 1e-9);
+  EXPECT_GE(r, 14000u);
+  EXPECT_LE(r, 14250u);
+}
+
+TEST(RunsForProbability, MonotoneInProbabilityAndTarget) {
+  EXPECT_GT(runs_for_probability(1e-4, 1e-9),
+            runs_for_probability(1e-3, 1e-9));
+  EXPECT_GT(runs_for_probability(1e-3, 1e-12),
+            runs_for_probability(1e-3, 1e-9));
+}
+
+TEST(AnalyzeSequence, PaperExample1EndToEnd) {
+  // {ABCDE}^1000, S=8 W=4: TAC must demand ~84.9k runs.
+  const auto seq = round_robin(5, 1000);
+  TacConfig cfg;
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), /*baseline_cycles=*/100000.0,
+      /*miss_penalty=*/100.0, cfg);
+  ASSERT_FALSE(res.events.empty());
+  EXPECT_GE(res.required_runs, 84000u);
+  EXPECT_LE(res.required_runs, 85500u);
+}
+
+TEST(AnalyzeSequence, PaperExample2EndToEnd) {
+  // {ABCDEF}^1000: 6 combos -> ~14.1k runs, LOWER than example 1 even
+  // though the sequence has more addresses (the paper's key observation
+  // that pubbing can reduce the required runs). The paper's arithmetic
+  // counts only the minimal 5-groups, so configure TAC accordingly.
+  const auto seq = round_robin(6, 1000);
+  TacConfig cfg;
+  cfg.conflict.extra_group_sizes = {0};
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), 100000.0, 100.0, cfg);
+  ASSERT_FALSE(res.events.empty());
+  EXPECT_GE(res.required_runs, 14000u);
+  EXPECT_LE(res.required_runs, 14250u);
+}
+
+TEST(AnalyzeSequence, LargerGroupsAddRarerWorseEvents) {
+  // With the default configuration the same sequence also exposes the
+  // 6-in-one-set layout: strictly worse impact, probability (1/8)^5, so
+  // the required runs grow beyond the paper's 5-group-only figure.
+  const auto seq = round_robin(6, 1000);
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), 100000.0, 100.0);
+  EXPECT_GT(res.required_runs, 100000u);
+}
+
+TEST(AnalyzeSequence, NoRelationBetweenOrigAndPubbedRuns) {
+  // Sec. 3.1 in full: orig {ABCA} needs no extra runs, its pub {ABCDEA}
+  // needs ~85k; orig {ABCDEA} needs ~85k, its pub {ABCDEFA} needs ~14k.
+  const CacheConfig cache = CacheConfig::example_s8w4();
+  TacConfig cfg;
+  cfg.conflict.extra_group_sizes = {0};  // the paper's 5-group arithmetic
+  const auto r3 =
+      analyze_sequence(round_robin(3, 1000), cache, 1e5, 100.0, cfg);
+  const auto r5 =
+      analyze_sequence(round_robin(5, 1000), cache, 1e5, 100.0, cfg);
+  const auto r6 =
+      analyze_sequence(round_robin(6, 1000), cache, 1e5, 100.0, cfg);
+  EXPECT_LT(r3.required_runs, 10u);       // fits in the ways: no events
+  EXPECT_GT(r5.required_runs, r3.required_runs);  // R(orig) < R(pub)
+  EXPECT_LT(r6.required_runs, r5.required_runs);  // R(orig) > R(pub)
+}
+
+TEST(AnalyzeSequence, EmptySequenceIsTrivial) {
+  const TacSequenceResult res =
+      analyze_sequence({}, CacheConfig::paper_l1(), 1000.0, 100.0);
+  EXPECT_EQ(res.required_runs, 1u);
+  EXPECT_TRUE(res.events.empty());
+}
+
+TEST(AnalyzeSequence, ImpactThresholdFiltersSmallEvents) {
+  const auto seq = round_robin(5, 1000);
+  TacConfig strict;
+  strict.impact_rel_threshold = 10.0;  // require 10x the baseline: nothing
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), 100000.0, 100.0, strict);
+  EXPECT_TRUE(res.events.empty());
+  EXPECT_EQ(res.required_runs, 1u);
+}
+
+TEST(AnalyzeSequence, IgnoreProbFiltersRareEvents) {
+  const auto seq = round_robin(5, 1000);
+  TacConfig cfg;
+  cfg.ignore_event_prob = 1e-3;  // (1/8)^4 ~ 2.4e-4 < 1e-3: ignored
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), 100000.0, 100.0, cfg);
+  EXPECT_EQ(res.required_runs, 1u);
+}
+
+TEST(AnalyzeSequence, RunsCapApplies)  {
+  const auto seq = round_robin(5, 1000);
+  TacConfig cfg;
+  cfg.max_runs_cap = 5000;
+  const TacSequenceResult res = analyze_sequence(
+      seq, CacheConfig::example_s8w4(), 100000.0, 100.0, cfg);
+  EXPECT_LE(res.required_runs, 5000u);
+}
+
+TEST(AnalyzeTrace, TakesMaxOfBothSides) {
+  // Data side has a 5-line conflict; instruction side is trivial.
+  MemTrace trace;
+  for (int r = 0; r < 1000; ++r) {
+    trace.emit(0x1000, AccessKind::kIFetch);
+    for (Addr l = 0; l < 5; ++l) {
+      trace.emit(0x8000 + l * 32, AccessKind::kLoad);
+    }
+  }
+  const TacTraceResult res =
+      analyze_trace(trace, CacheConfig::example_s8w4(),
+                    CacheConfig::example_s8w4(), 1e5, 100.0);
+  EXPECT_LE(res.il1.required_runs, 10u);
+  EXPECT_GE(res.dl1.required_runs, 84000u);
+  EXPECT_EQ(res.required_runs, res.dl1.required_runs);
+}
+
+TEST(AnalyzeSequence, MorePessimisticTargetNeedsMoreRuns) {
+  const auto seq = round_robin(5, 1000);
+  TacConfig loose;
+  loose.target_miss_prob = 1e-6;
+  TacConfig tight;
+  tight.target_miss_prob = 1e-12;
+  const auto rl = analyze_sequence(seq, CacheConfig::example_s8w4(), 1e5,
+                                   100.0, loose);
+  const auto rt = analyze_sequence(seq, CacheConfig::example_s8w4(), 1e5,
+                                   100.0, tight);
+  EXPECT_LT(rl.required_runs, rt.required_runs);
+}
+
+}  // namespace
+}  // namespace mbcr::tac

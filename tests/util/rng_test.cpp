@@ -1,0 +1,105 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace mbcr {
+namespace {
+
+TEST(Splitmix64, IsDeterministic) {
+  std::uint64_t s1 = 123;
+  std::uint64_t s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 7;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, IsAPureFunction) {
+  EXPECT_EQ(mix64(42, 7), mix64(42, 7));
+  EXPECT_NE(mix64(42, 7), mix64(43, 7));
+  EXPECT_NE(mix64(42, 7), mix64(42, 8));
+}
+
+TEST(Mix64, SpreadsSmallInputs) {
+  // Consecutive line numbers must map to well-spread hash values — this is
+  // what random placement relies on.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t line = 0; line < 1000; ++line) {
+    seen.insert(mix64(line, 99) % 64);
+  }
+  EXPECT_EQ(seen.size(), 64u);  // all 64 sets reached
+}
+
+TEST(Xoshiro256, ReproducibleFromSeed) {
+  Xoshiro256 a(1234);
+  Xoshiro256 b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, JumpCreatesDisjointStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(from_a.contains(b()));
+}
+
+TEST(Xoshiro256, UniformBoundedAndUnbiased) {
+  Xoshiro256 rng(77);
+  constexpr std::uint32_t kBound = 10;
+  std::array<int, kBound> hist{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint32_t v = rng.uniform(kBound);
+    ASSERT_LT(v, kBound);
+    ++hist[v];
+  }
+  // Chi-square against uniformity: 9 dof, 99.9% critical value ~ 27.9.
+  const double expected = static_cast<double>(kDraws) / kBound;
+  double chi2 = 0;
+  for (int c : hist) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, UniformOfOneIsZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+}  // namespace
+}  // namespace mbcr

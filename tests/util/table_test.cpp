@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mbcr {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"name", "runs"});
+  t.add_row({"bs", "40"});
+  t.add_row({"matmult", "200"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("| name    | runs |"), std::string::npos);
+  EXPECT_NE(out.find("| matmult | 200  |"), std::string::npos);
+}
+
+TEST(AsciiTable, ShortRowsArePadded) {
+  AsciiTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(ss.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(AsciiTable, CsvOutput) {
+  AsciiTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt(3.1400, 4), "3.14");
+  EXPECT_EQ(fmt(5.0, 2), "5");
+  EXPECT_EQ(fmt(0.5, 2), "0.5");
+  EXPECT_EQ(fmt(-2.50, 2), "-2.5");
+}
+
+TEST(FmtKruns, MatchesPaperStyle) {
+  EXPECT_EQ(fmt_kruns(70000), "70");
+  EXPECT_EQ(fmt_kruns(1000), "1");
+  EXPECT_EQ(fmt_kruns(600000), "600");
+  EXPECT_EQ(fmt_kruns(8500), "8.5");
+}
+
+}  // namespace
+}  // namespace mbcr
