@@ -24,18 +24,25 @@ struct BenchOptions {
   bool paper = false;
   std::uint64_t seed = 42;
   bool csv = false;
+  /// Campaign-engine grain: runs per pool chunk (0 = engine default).
+  std::size_t grain = 0;
 };
 
 inline BenchOptions parse_options(int argc, char** argv,
                                   const std::string& description) {
   Cli cli(argc, argv,
-          {{"scale", "1"}, {"paper", "0"}, {"seed", "42"}, {"csv", "0"}},
+          {{"scale", "1"},
+           {"paper", "0"},
+           {"seed", "42"},
+           {"csv", "0"},
+           {"grain", "0"}},
           description);
   BenchOptions opt;
   opt.scale = cli.real("scale");
   opt.paper = cli.flag("paper");
   opt.seed = static_cast<std::uint64_t>(cli.integer("seed"));
   opt.csv = cli.flag("csv");
+  opt.grain = static_cast<std::size_t>(cli.integer("grain"));
   return opt;
 }
 
@@ -54,6 +61,7 @@ inline std::size_t scaled_runs(const BenchOptions& opt, std::size_t laptop,
 inline core::AnalysisConfig paper_config(const BenchOptions& opt) {
   core::AnalysisConfig cfg;
   cfg.campaign.master_seed = opt.seed;
+  if (opt.grain > 0) cfg.campaign.grain = opt.grain;
   cfg.convergence.max_runs = 200'000;
   cfg.tac.max_runs_cap = 600'000;
   cfg.pwcet_probability = 1e-12;

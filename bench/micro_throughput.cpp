@@ -3,6 +3,9 @@
 // method needs (hundreds of thousands of runs per benchmark).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "cache/random_cache.hpp"
 #include "ir/interp.hpp"
 #include "platform/campaign.hpp"
@@ -54,6 +57,100 @@ void BM_ParallelCampaign(benchmark::State& state) {
                           static_cast<std::int64_t>(runs * trace.size()));
 }
 BENCHMARK(BM_ParallelCampaign)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Old-vs-new campaign engine. items/sec == campaign runs/sec.
+//
+// The workload is the convergence driver's access pattern: one logical
+// campaign of `total` runs executed as consecutive `chunk`-run extensions
+// (exactly what mbpta::converge_stream does per delta). The v1 engine
+// spawns and joins std::threads for every chunk and materializes a fresh
+// vector per chunk; the v2 engine reuses the shared persistent pool and
+// streams into one caller-owned buffer. Both produce bit-identical samples
+// (checked at startup below and in tests/platform/engine_equivalence).
+
+constexpr std::size_t kEngineTotalRuns = 10'000;
+constexpr std::size_t kEngineChunk = 512;
+constexpr unsigned kEngineThreads = 8;
+
+// The paper's flagship benchmark (binary search). Its short trace makes
+// campaigns engine-overhead-bound — exactly the regime the persistent
+// pool, the streaming sink, and the reusable run workspace target.
+const CompactTrace& engine_trace() {
+  static const CompactTrace trace = CompactTrace::from(
+      ir::lower_and_execute(suite::make_benchmark("bs").program,
+                            suite::make_benchmark("bs").default_input)
+          .trace);
+  return trace;
+}
+
+void BM_CampaignEngineV1SpawnPerChunk(benchmark::State& state) {
+  const auto& trace = engine_trace();
+  const platform::Machine machine;
+  platform::CampaignConfig cfg;
+  cfg.threads = kEngineThreads;
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<double> sample;
+    sample.reserve(kEngineTotalRuns);
+    for (std::size_t done = 0; done < kEngineTotalRuns; done += chunk) {
+      const std::vector<double> piece = platform::run_campaign_spawn(
+          machine, trace, std::min(chunk, kEngineTotalRuns - done), cfg, done);
+      sample.insert(sample.end(), piece.begin(), piece.end());
+    }
+    benchmark::DoNotOptimize(sample.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kEngineTotalRuns));
+}
+BENCHMARK(BM_CampaignEngineV1SpawnPerChunk)
+    ->Arg(kEngineChunk)
+    ->Arg(kEngineTotalRuns)
+    ->UseRealTime();
+
+void BM_CampaignEngineV2PersistentPool(benchmark::State& state) {
+  const auto& trace = engine_trace();
+  const platform::Machine machine;
+  platform::CampaignConfig cfg;
+  // Same concurrency bound as the v1 bench, so the comparison isolates
+  // engine overhead (spawn/join, alloc, copy) from parallelism width.
+  cfg.threads = kEngineThreads;
+  const auto chunk = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<double> sample;
+    sample.reserve(kEngineTotalRuns);
+    platform::CampaignSampler sampler(machine, trace, cfg);
+    for (std::size_t done = 0; done < kEngineTotalRuns; done += chunk) {
+      sampler.append_to(sample, std::min(chunk, kEngineTotalRuns - done));
+    }
+    benchmark::DoNotOptimize(sample.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kEngineTotalRuns));
+}
+BENCHMARK(BM_CampaignEngineV2PersistentPool)
+    ->Arg(kEngineChunk)
+    ->Arg(kEngineTotalRuns)
+    ->UseRealTime();
+
+/// Startup guard: the two engines must agree byte-for-byte on the exact
+/// configuration benchmarked above, for several thread counts.
+const bool kEnginesAgree = [] {
+  const auto& trace = engine_trace();
+  const platform::Machine machine;
+  platform::CampaignConfig base;
+  const std::vector<double> want =
+      platform::run_campaign(machine, trace, 2048, base);
+  for (unsigned threads : {1u, 2u, kEngineThreads}) {
+    platform::CampaignConfig cfg;
+    cfg.threads = threads;
+    if (platform::run_campaign_spawn(machine, trace, 2048, cfg) != want) {
+      std::fprintf(stderr, "engine mismatch at threads=%u\n", threads);
+      std::abort();
+    }
+  }
+  return true;
+}();
 
 void BM_InterpreterTrace(benchmark::State& state) {
   const auto b = suite::make_benchmark("crc");

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/pool.hpp"
 #include "util/rng.hpp"
-
 #include "util/stats.hpp"
 
 namespace mbcr::core {
@@ -42,21 +42,24 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
     out.r_tac = out.tac.required_runs;
   }
 
-  // 4. MBPTA convergence on the same deterministic run sequence.
+  // 4. MBPTA convergence on the same deterministic run sequence. The
+  // sampler streams runs straight into the convergence sample — the one
+  // buffer is grown in place across every delta (engine v2).
   platform::CampaignSampler sampler(machine_, trace, config_.campaign);
   mbpta::ConvergenceConfig conv = config_.convergence;
   conv.probability = config_.pwcet_probability;
-  mbpta::ConvergenceResult convergence = mbpta::converge(
-      [&sampler](std::size_t k) { return sampler(k); }, conv);
+  mbpta::ConvergenceResult convergence = mbpta::converge_stream(
+      [&sampler](std::vector<double>& sample, std::size_t k) {
+        sampler.append_to(sample, k);
+      },
+      conv);
   out.r_mbpta = convergence.runs;
 
   // 5. Extend the campaign to the TAC-required size, then fit pWCETs.
   out.r_total = std::max(out.r_mbpta, out.r_tac);
   if (convergence.sample.size() < out.r_total) {
-    const std::vector<double> extra =
-        sampler(out.r_total - convergence.sample.size());
-    convergence.sample.insert(convergence.sample.end(), extra.begin(),
-                              extra.end());
+    sampler.append_to(convergence.sample,
+                      out.r_total - convergence.sample.size());
   }
   out.pwcet_converged_only = mbpta::PwcetCurve(
       std::span<const double>(convergence.sample.data(), out.r_mbpta),
@@ -105,13 +108,22 @@ std::size_t Analyzer::MultiPathAnalysis::tightest_path(double p) const {
 Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(
     const ir::Program& program, const std::vector<ir::InputVector>& inputs,
     bool with_tac) const {
-  // PUB is applied once; each input then measures one pubbed path.
+  // PUB is applied once; each input then measures one pubbed path. All
+  // per-path campaigns are batched onto the shared pool concurrently
+  // (grain 1 = one path per claim). Each path's sample is a pure function
+  // of its own run numbering and the master seed, so concurrent scheduling
+  // cannot change any result; per_path order always matches `inputs`.
+  // analyze_program itself runs nested campaigns on the same pool — safe
+  // because parallel_for is re-entrant (the claiming thread participates).
   const ir::Program pubbed = pub::apply_pub(program, config_.pub);
   MultiPathAnalysis out;
-  out.per_path.reserve(inputs.size());
-  for (const ir::InputVector& input : inputs) {
-    out.per_path.push_back(analyze_program(pubbed, input, with_tac));
-  }
+  out.per_path.resize(inputs.size());
+  ThreadPool::shared().parallel_for(
+      inputs.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out.per_path[i] = analyze_program(pubbed, inputs[i], with_tac);
+        }
+      });
   return out;
 }
 

@@ -87,6 +87,8 @@ public:
   };
 
   /// Runs `analyze_pubbed` for each input and combines per Corollary 2.
+  /// All per-path campaigns are batched concurrently onto the shared
+  /// campaign pool; results are deterministic and ordered like `inputs`.
   MultiPathAnalysis analyze_pubbed_paths(
       const ir::Program& program,
       const std::vector<ir::InputVector>& inputs, bool with_tac = true) const;

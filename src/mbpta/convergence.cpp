@@ -8,15 +8,14 @@
 
 namespace mbcr::mbpta {
 
-ConvergenceResult converge(const Sampler& sampler,
-                           const ConvergenceConfig& config) {
+ConvergenceResult converge_stream(const StreamSampler& sampler,
+                                  const ConvergenceConfig& config) {
   ConvergenceResult result;
   auto grow_to = [&](std::size_t target) {
     while (result.sample.size() < target) {
-      const std::size_t want = target - result.sample.size();
-      std::vector<double> chunk = sampler(want);
-      if (chunk.empty()) break;  // sampler exhausted (tests only)
-      result.sample.insert(result.sample.end(), chunk.begin(), chunk.end());
+      const std::size_t before = result.sample.size();
+      sampler(result.sample, target - before);
+      if (result.sample.size() == before) break;  // exhausted (tests only)
     }
   };
 
@@ -54,6 +53,16 @@ ConvergenceResult converge(const Sampler& sampler,
   result.runs = result.sample.size();
   result.converged = false;
   return result;
+}
+
+ConvergenceResult converge(const Sampler& sampler,
+                           const ConvergenceConfig& config) {
+  return converge_stream(
+      [&sampler](std::vector<double>& sample, std::size_t count) {
+        const std::vector<double> chunk = sampler(count);
+        sample.insert(sample.end(), chunk.begin(), chunk.end());
+      },
+      config);
 }
 
 }  // namespace mbcr::mbpta

@@ -37,6 +37,19 @@ struct ConvergenceResult {
 /// (it is called repeatedly; the campaign owns run numbering).
 using Sampler = std::function<std::vector<double>(std::size_t)>;
 
+/// Streaming sampler (campaign engine v2): `sampler(sample, k)` appends
+/// `k` fresh execution times directly onto `sample` — the growing sample
+/// IS the campaign sink, so extending the campaign never copies what was
+/// already measured. `CampaignSampler::append_to` satisfies this shape.
+/// A sampler that appends nothing signals exhaustion (tests only).
+using StreamSampler =
+    std::function<void(std::vector<double>& sample, std::size_t count)>;
+
+ConvergenceResult converge_stream(const StreamSampler& sampler,
+                                  const ConvergenceConfig& config = {});
+
+/// Legacy chunk protocol, adapted onto `converge_stream` (each chunk is
+/// copied once into the sample).
 ConvergenceResult converge(const Sampler& sampler,
                            const ConvergenceConfig& config = {});
 

@@ -7,10 +7,44 @@
 
 namespace mbcr::platform {
 
+void run_campaign_into(const Machine& machine, const CompactTrace& trace,
+                       std::size_t runs, double* out,
+                       const CampaignConfig& config, std::size_t first_run,
+                       ThreadPool* pool) {
+  if (runs == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  const std::size_t grain = std::max<std::size_t>(1, config.grain);
+  // threads counts the caller among the claimants (it always runs).
+  const std::size_t max_helpers =
+      config.threads == 0 ? SIZE_MAX : config.threads - 1;
+  pool->parallel_for(
+      runs, grain,
+      [&](std::size_t begin, std::size_t end) {
+        // One workspace per pool thread, reused across every chunk,
+        // campaign, trace, and machine this thread ever touches.
+        static thread_local RunWorkspace ws;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t seed = mix64(first_run + i, config.master_seed);
+          out[i] = static_cast<double>(machine.run_once(trace, seed, ws));
+        }
+      },
+      max_helpers);
+}
+
 std::vector<double> run_campaign(const Machine& machine,
                                  const CompactTrace& trace, std::size_t runs,
                                  const CampaignConfig& config,
                                  std::size_t first_run) {
+  std::vector<double> times(runs);
+  run_campaign_into(machine, trace, runs, times.data(), config, first_run);
+  return times;
+}
+
+std::vector<double> run_campaign_spawn(const Machine& machine,
+                                       const CompactTrace& trace,
+                                       std::size_t runs,
+                                       const CampaignConfig& config,
+                                       std::size_t first_run) {
   std::vector<double> times(runs);
   if (runs == 0) return times;
 
@@ -50,10 +84,26 @@ CampaignSampler::CampaignSampler(const Machine& machine,
                                  const CampaignConfig& config)
     : machine_(machine), trace_(trace), config_(config) {}
 
-std::vector<double> CampaignSampler::operator()(std::size_t count) {
-  std::vector<double> chunk =
-      run_campaign(machine_, trace_, count, config_, next_run_);
+void CampaignSampler::append_to(std::vector<double>& sample,
+                                std::size_t count) {
+  const std::size_t old_size = sample.size();
+  sample.resize(old_size + count);
+  try {
+    run_campaign_into(machine_, trace_, count, sample.data() + old_size,
+                      config_, next_run_);
+  } catch (...) {
+    // Never leave unmeasured garbage in the caller's sample: a failed
+    // extension restores the buffer, and next_run_ stays put so a retry
+    // re-runs the same deterministic range.
+    sample.resize(old_size);
+    throw;
+  }
   next_run_ += count;
+}
+
+std::vector<double> CampaignSampler::operator()(std::size_t count) {
+  std::vector<double> chunk;
+  append_to(chunk, count);
   return chunk;
 }
 

@@ -18,15 +18,18 @@ constexpr std::uint64_t kDl1Replacement = 4;
 
 constexpr std::uint32_t kEmpty = 0xffffffffu;
 
-/// Flat-array cache state for one side, keyed by dense line ids.
+/// Flat-array cache state for one side, keyed by dense line ids. Tag and
+/// set-map storage is borrowed from a RunWorkspace so campaign workers can
+/// reuse it run after run; every field is (re)written here, so a recycled
+/// buffer behaves exactly like a fresh one.
 class FastSide {
 public:
   FastSide(const CacheConfig& cfg, const std::vector<Addr>& lines,
-           std::uint64_t placement_seed, std::uint64_t replacement_seed)
-      : ways_(cfg.ways),
-        rng_(replacement_seed),
-        tags_(static_cast<std::size_t>(cfg.sets) * cfg.ways, kEmpty),
-        set_of_(lines.size()) {
+           std::uint64_t placement_seed, std::uint64_t replacement_seed,
+           std::vector<std::uint32_t>& tags, std::vector<std::uint32_t>& set_of)
+      : ways_(cfg.ways), rng_(replacement_seed), tags_(tags), set_of_(set_of) {
+    tags_.assign(static_cast<std::size_t>(cfg.sets) * cfg.ways, kEmpty);
+    set_of_.resize(lines.size());
     for (std::size_t l = 0; l < lines.size(); ++l) {
       set_of_[l] = static_cast<std::uint32_t>(mix64(lines[l], placement_seed) %
                                               cfg.sets);
@@ -46,8 +49,8 @@ public:
 private:
   std::uint32_t ways_;
   Xoshiro256 rng_;
-  std::vector<std::uint32_t> tags_;
-  std::vector<std::uint32_t> set_of_;
+  std::vector<std::uint32_t>& tags_;
+  std::vector<std::uint32_t>& set_of_;
 };
 
 }  // namespace
@@ -59,10 +62,17 @@ Machine::Machine(const MachineConfig& config) : config_(config) {
 
 std::uint64_t Machine::run_once(const CompactTrace& trace,
                                 std::uint64_t run_seed) const {
+  RunWorkspace ws;
+  return run_once(trace, run_seed, ws);
+}
+
+std::uint64_t Machine::run_once(const CompactTrace& trace,
+                                std::uint64_t run_seed,
+                                RunWorkspace& ws) const {
   FastSide il1(config_.il1, trace.ilines, mix64(kIl1Placement, run_seed),
-               mix64(kIl1Replacement, run_seed));
+               mix64(kIl1Replacement, run_seed), ws.il1_tags, ws.il1_set_of);
   FastSide dl1(config_.dl1, trace.dlines, mix64(kDl1Placement, run_seed),
-               mix64(kDl1Replacement, run_seed));
+               mix64(kDl1Replacement, run_seed), ws.dl1_tags, ws.dl1_set_of);
   const TimingParams& t = config_.timing;
   std::uint64_t cycles = 0;
   for (const CompactTrace::Entry& e : trace.entries) {

@@ -10,12 +10,24 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "cache/cache_config.hpp"
 #include "cpu/pipeline.hpp"
 #include "cpu/trace.hpp"
 
 namespace mbcr::platform {
+
+/// Reusable per-thread scratch for `Machine::run_once`: tag arrays and
+/// per-line set maps for both cache sides. A campaign worker allocates one
+/// workspace and replays hundreds of thousands of runs through it, instead
+/// of paying four vector allocations per run. Contents are fully
+/// re-initialized by every run, so reuse never leaks state between runs
+/// (or between machines/traces of different geometry — buffers just grow).
+struct RunWorkspace {
+  std::vector<std::uint32_t> il1_tags, il1_set_of;
+  std::vector<std::uint32_t> dl1_tags, dl1_set_of;
+};
 
 struct MachineConfig {
   CacheConfig il1 = CacheConfig::paper_l1();
@@ -31,6 +43,11 @@ public:
   /// from `run_seed`, cold caches, full trace replay. Returns cycles.
   std::uint64_t run_once(const CompactTrace& trace,
                          std::uint64_t run_seed) const;
+
+  /// Same run, same result, but all scratch state lives in `ws` — the
+  /// campaign-engine hot path. Bit-identical to the allocating overload.
+  std::uint64_t run_once(const CompactTrace& trace, std::uint64_t run_seed,
+                         RunWorkspace& ws) const;
 
   /// Reference implementation via the generic RandomCache (slow but
   /// obviously correct); used by tests to validate the fast replay.

@@ -1,0 +1,93 @@
+// Persistent worker pool for measurement campaigns (campaign engine v2).
+//
+// The v1 engine spawned and joined a fresh set of std::threads for every
+// campaign chunk; under MBPTA convergence that means thousands of thread
+// creations per analysis. This pool keeps its workers alive for the life
+// of the process and hands out work through an atomic chunk counter, so a
+// campaign chunk costs one enqueue + a few atomic increments instead of
+// pthread_create/join.
+//
+// Design notes:
+//  * `parallel_for` is cooperative: the calling thread claims chunks too,
+//    so it makes progress even when every worker is busy. That makes the
+//    pool safely re-entrant — a task running on a worker may itself call
+//    `parallel_for` (the batched multi-path analyzer does exactly that)
+//    without risk of deadlock.
+//  * Work assignment never affects results: campaign determinism comes
+//    from per-run seeding (`mix64(run_index, master_seed)`), so any thread
+//    may execute any chunk.
+//  * The first exception thrown by any chunk or task is captured and
+//    rethrown on the waiting thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mbcr {
+
+class ThreadPool {
+public:
+  /// `workers = 0` sizes the pool to the hardware concurrency; the pool
+  /// always has at least one worker. (Serial execution needs no special
+  /// mode: `parallel_for` from the calling thread claims every chunk
+  /// itself whenever the workers are busy.)
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Process-wide pool shared by every campaign; constructed on first use.
+  static ThreadPool& shared();
+
+  /// Runs `body(begin, end)` over every grain-sized chunk of [0, n).
+  /// Chunks are claimed from an atomic counter by the calling thread and
+  /// by idle workers; returns when all of [0, n) is done. Rethrows the
+  /// first chunk exception (remaining chunks are skipped, not run).
+  /// `max_helpers` caps how many workers may join in (the calling thread
+  /// always participates, so `max_helpers = 0` runs serially).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t max_helpers = SIZE_MAX);
+
+  /// Enqueues an arbitrary task; the future rethrows its exception. The
+  /// campaign engine itself only needs `parallel_for`; this is the
+  /// general entry point for ad-hoc jobs sharing the campaign workers
+  /// (e.g. a future CLI front-end running analyses side by side).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+private:
+  struct ForJob;
+
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+  static void drive(const std::shared_ptr<ForJob>& job);
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::atomic<unsigned> idle_{0};  ///< workers parked in worker_loop's wait
+  bool stopping_ = false;
+};
+
+}  // namespace mbcr

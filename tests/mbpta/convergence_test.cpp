@@ -88,6 +88,39 @@ TEST(Convergence, DeterministicGivenSampler) {
   EXPECT_EQ(r1.estimates, r2.estimates);
 }
 
+TEST(Convergence, StreamSamplerMatchesChunkSampler) {
+  // The streaming protocol (engine v2) must walk the identical
+  // delta/stability schedule as the legacy chunk protocol.
+  ConvergenceConfig cfg;
+  cfg.max_runs = 100000;
+  const ConvergenceResult chunked = converge(exponential_sampler(0.05, 7), cfg);
+  Sampler legacy = exponential_sampler(0.05, 7);
+  const ConvergenceResult streamed = converge_stream(
+      [&legacy](std::vector<double>& sample, std::size_t k) {
+        const std::vector<double> chunk = legacy(k);
+        sample.insert(sample.end(), chunk.begin(), chunk.end());
+      },
+      cfg);
+  EXPECT_EQ(chunked.converged, streamed.converged);
+  EXPECT_EQ(chunked.runs, streamed.runs);
+  EXPECT_EQ(chunked.estimates, streamed.estimates);
+  EXPECT_EQ(chunked.sample, streamed.sample);
+}
+
+TEST(Convergence, StreamSamplerExhaustionStops) {
+  // A stream sampler that stops appending ends the campaign gracefully.
+  ConvergenceConfig cfg;
+  cfg.max_runs = 50000;
+  const std::size_t cap = 450;
+  const ConvergenceResult res = converge_stream(
+      [cap](std::vector<double>& sample, std::size_t k) {
+        const std::size_t room = sample.size() < cap ? cap - sample.size() : 0;
+        sample.resize(sample.size() + std::min(k, room), 500.0);
+      },
+      cfg);
+  EXPECT_LE(res.sample.size(), cap);
+}
+
 TEST(Convergence, TighterToleranceNeedsMoreRuns) {
   ConvergenceConfig loose;
   loose.tolerance = 0.2;

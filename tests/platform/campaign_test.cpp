@@ -16,15 +16,30 @@ CompactTrace test_trace() {
 }
 
 TEST(Campaign, ThreadCountDoesNotChangeResults) {
+  // Thread variation must be exercised through the spawn engine AND
+  // through dedicated pools of different sizes actually claiming chunks
+  // (threads = 0 = uncapped), plus the threads-capped serial path.
   const CompactTrace trace = test_trace();
   const Machine machine;
   CampaignConfig seq_cfg;
   seq_cfg.threads = 1;
   CampaignConfig par_cfg;
   par_cfg.threads = 8;
-  const auto a = run_campaign(machine, trace, 2000, seq_cfg);
-  const auto b = run_campaign(machine, trace, 2000, par_cfg);
+  const auto a = run_campaign_spawn(machine, trace, 2000, seq_cfg);
+  const auto b = run_campaign_spawn(machine, trace, 2000, par_cfg);
   EXPECT_EQ(a, b);
+  CampaignConfig uncapped;  // threads = 0: every pool worker may claim
+  uncapped.grain = 32;      // many chunks so workers really interleave
+  for (unsigned workers : {1u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<double> pooled(2000);
+    run_campaign_into(machine, trace, 2000, pooled.data(), uncapped, 0, &pool);
+    EXPECT_EQ(a, pooled) << "pool workers " << workers;
+  }
+  // threads = 1 caps the v2 engine to the calling thread; same sample.
+  std::vector<double> capped(2000);
+  run_campaign_into(machine, trace, 2000, capped.data(), seq_cfg, 0);
+  EXPECT_EQ(a, capped);
 }
 
 TEST(Campaign, MasterSeedChangesSample) {
@@ -68,6 +83,35 @@ TEST(CampaignSampler, ChunksMatchOneShotCampaign) {
   }
   EXPECT_EQ(sampler.runs_done(), 400u);
   EXPECT_EQ(collected, run_campaign(machine, trace, 400, cfg));
+}
+
+TEST(CampaignSampler, AppendToGrowsCallerBufferInPlace) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  const CampaignConfig cfg;
+  CampaignSampler sampler(machine, trace, cfg);
+  std::vector<double> sample{-1.0, -2.0};  // pre-existing content survives
+  sampler.append_to(sample, 150);
+  sampler.append_to(sample, 50);
+  ASSERT_EQ(sample.size(), 202u);
+  EXPECT_EQ(sample[0], -1.0);
+  EXPECT_EQ(sample[1], -2.0);
+  const std::vector<double> want = run_campaign(machine, trace, 200, cfg);
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), sample.begin() + 2));
+}
+
+TEST(Campaign, IntoWritesExactlyTheRequestedRange) {
+  const CompactTrace trace = test_trace();
+  const Machine machine;
+  const CampaignConfig cfg;
+  std::vector<double> buffer(300, -7.0);
+  run_campaign_into(machine, trace, 100, buffer.data() + 100, cfg, 0);
+  const std::vector<double> want = run_campaign(machine, trace, 100, cfg);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(buffer[i], -7.0);            // before the window: untouched
+    EXPECT_EQ(buffer[100 + i], want[i]);   // the window: the campaign
+    EXPECT_EQ(buffer[200 + i], -7.0);      // after the window: untouched
+  }
 }
 
 TEST(Campaign, SamplesLookIid) {

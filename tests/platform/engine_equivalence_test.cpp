@@ -1,0 +1,155 @@
+// Engine-equivalence suite: the whole campaign-engine v2 rework is safe
+// because every execution path must produce bit-identical samples for a
+// fixed master seed — fast replay vs reference cache model, v2 pool engine
+// vs v1 spawn engine, any thread count, workspace reuse, streamed vs
+// one-shot. These tests pin that contract.
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "platform/campaign.hpp"
+#include "platform/machine.hpp"
+#include "suite/malardalen.hpp"
+#include "util/pool.hpp"
+
+namespace mbcr::platform {
+namespace {
+
+struct TestWorkload {
+  MemTrace mem;
+  CompactTrace trace;
+};
+
+TestWorkload test_workload(const std::string& name = "bs") {
+  const auto b = suite::make_benchmark(name);
+  TestWorkload w;
+  w.mem = ir::lower_and_execute(b.program, b.default_input).trace;
+  w.trace = CompactTrace::from(w.mem);
+  return w;
+}
+
+TEST(EngineEquivalence, FastReplayMatchesReferenceAcrossSeeds) {
+  const TestWorkload w = test_workload();
+  const Machine machine;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    EXPECT_EQ(machine.run_once(w.trace, seed),
+              machine.run_once_reference(w.mem, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(EngineEquivalence, FastReplayMatchesReferenceAcrossGeometries) {
+  const TestWorkload w = test_workload("janne");
+  const CacheConfig geometries[] = {
+      CacheConfig::paper_l1(), CacheConfig::example_s8w4(),
+      CacheConfig{1, 4, 32},    // fully associative, single set
+      CacheConfig{256, 1, 32},  // direct mapped
+  };
+  for (const CacheConfig& il1 : geometries) {
+    for (const CacheConfig& dl1 : geometries) {
+      MachineConfig cfg;
+      cfg.il1 = il1;
+      cfg.dl1 = dl1;
+      const Machine machine(cfg);
+      for (std::uint64_t seed : {0ull, 7ull, 123456789ull}) {
+        EXPECT_EQ(machine.run_once(w.trace, seed),
+                  machine.run_once_reference(w.mem, seed))
+            << "il1 " << il1.sets << "x" << il1.ways << " dl1 " << dl1.sets
+            << "x" << dl1.ways << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, FastReplayMatchesReferenceWithWideLines) {
+  // The compact trace pre-resolves byte addresses to line ids, so its line
+  // size must match the cache geometry's; rebuild it for 64B lines.
+  const TestWorkload w = test_workload("janne");
+  const CompactTrace wide_trace = CompactTrace::from(w.mem, 64);
+  MachineConfig cfg;
+  cfg.il1 = CacheConfig{16, 8, 64};
+  cfg.dl1 = CacheConfig{16, 8, 64};
+  const Machine machine(cfg);
+  for (std::uint64_t seed : {0ull, 7ull, 123456789ull}) {
+    EXPECT_EQ(machine.run_once(wide_trace, seed),
+              machine.run_once_reference(w.mem, seed))
+        << "seed " << seed;
+  }
+}
+
+TEST(EngineEquivalence, WorkspaceReuseIsBitIdentical) {
+  const TestWorkload w = test_workload();
+  const TestWorkload small = test_workload("janne");
+  MachineConfig small_cfg;
+  small_cfg.il1 = CacheConfig::example_s8w4();
+  small_cfg.dl1 = CacheConfig::example_s8w4();
+  const Machine machine;
+  const Machine small_machine(small_cfg);
+  RunWorkspace ws;  // one workspace reused across runs, traces, machines
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    EXPECT_EQ(machine.run_once(w.trace, seed, ws),
+              machine.run_once(w.trace, seed));
+    EXPECT_EQ(small_machine.run_once(small.trace, seed, ws),
+              small_machine.run_once(small.trace, seed));
+  }
+}
+
+TEST(EngineEquivalence, PoolEngineInvariantUnderThreadCount) {
+  const TestWorkload w = test_workload();
+  const Machine machine;
+  CampaignConfig cfg;
+  cfg.grain = 32;
+  std::vector<double> baseline;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> times(3000);
+    run_campaign_into(machine, w.trace, times.size(), times.data(), cfg, 0,
+                      &pool);
+    if (baseline.empty()) {
+      baseline = times;
+    } else {
+      EXPECT_EQ(baseline, times) << "threads " << threads;
+    }
+  }
+}
+
+TEST(EngineEquivalence, PoolEngineMatchesSpawnEngine) {
+  const TestWorkload w = test_workload();
+  const Machine machine;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    CampaignConfig cfg;
+    cfg.threads = threads;
+    EXPECT_EQ(run_campaign(machine, w.trace, 2000, cfg),
+              run_campaign_spawn(machine, w.trace, 2000, cfg))
+        << "threads " << threads;
+  }
+}
+
+TEST(EngineEquivalence, StreamedSamplesMatchOneShotCampaign) {
+  // The streaming-sink property: growing one sample buffer through
+  // CampaignSampler::append_to reproduces the one-shot campaign exactly,
+  // whatever the chunking.
+  const TestWorkload w = test_workload();
+  const Machine machine;
+  const CampaignConfig cfg;
+  CampaignSampler sampler(machine, w.trace, cfg);
+  std::vector<double> streamed;
+  for (std::size_t chunk : {1, 137, 300, 62, 500}) {
+    sampler.append_to(streamed, chunk);
+  }
+  EXPECT_EQ(sampler.runs_done(), 1000u);
+  EXPECT_EQ(streamed, run_campaign(machine, w.trace, 1000, cfg));
+}
+
+TEST(EngineEquivalence, GrainDoesNotChangeResults) {
+  const TestWorkload w = test_workload();
+  const Machine machine;
+  CampaignConfig coarse;
+  coarse.grain = 1024;
+  CampaignConfig fine;
+  fine.grain = 1;
+  EXPECT_EQ(run_campaign(machine, w.trace, 1500, coarse),
+            run_campaign(machine, w.trace, 1500, fine));
+}
+
+}  // namespace
+}  // namespace mbcr::platform

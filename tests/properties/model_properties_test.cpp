@@ -96,12 +96,25 @@ TEST_P(GeometryProperty, CampaignDeterminismEverywhere) {
   mcfg.il1 = config();
   mcfg.dl1 = config();
   const platform::Machine machine(mcfg);
+  // Scheduling invariance across engines and worker counts: the v1 spawn
+  // engine at 1 and 16 threads and the v2 pool engine on dedicated 1- and
+  // 16-worker pools must all produce the same sample.
   platform::CampaignConfig one;
   one.threads = 1;
   platform::CampaignConfig many;
   many.threads = 16;
-  EXPECT_EQ(platform::run_campaign(machine, trace, 500, one),
-            platform::run_campaign(machine, trace, 500, many));
+  const std::vector<double> want =
+      platform::run_campaign_spawn(machine, trace, 500, one);
+  EXPECT_EQ(want, platform::run_campaign_spawn(machine, trace, 500, many));
+  platform::CampaignConfig uncapped;  // threads = 0: workers really claim
+  uncapped.grain = 16;
+  for (unsigned workers : {1u, 16u}) {
+    ThreadPool pool(workers);
+    std::vector<double> pooled(500);
+    platform::run_campaign_into(machine, trace, 500, pooled.data(), uncapped,
+                                0, &pool);
+    EXPECT_EQ(want, pooled) << "pool workers " << workers;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, GeometryProperty,
