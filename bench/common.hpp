@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/analyzer.hpp"
+#include "core/study.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -32,9 +33,9 @@ inline BenchOptions parse_options(int argc, char** argv,
                                   const std::string& description) {
   Cli cli(argc, argv,
           {{"scale", "1"},
-           {"paper", "0"},
+           {"paper", "false"},
            {"seed", "42"},
-           {"csv", "0"},
+           {"csv", "false"},
            {"grain", "0"}},
           description);
   BenchOptions opt;
@@ -66,6 +67,19 @@ inline core::AnalysisConfig paper_config(const BenchOptions& opt) {
   cfg.tac.max_runs_cap = 600'000;
   cfg.pwcet_probability = 1e-12;
   return cfg;
+}
+
+/// Study spec over the paper evaluation config (`paper_config`) for one
+/// suite kernel: benches declare studies instead of hand-plumbing the
+/// Analyzer.
+inline core::StudySpec paper_study(const BenchOptions& opt,
+                                   std::string suite_name,
+                                   core::StudyMode mode) {
+  core::StudySpec spec;
+  spec.suite = std::move(suite_name);
+  spec.mode = mode;
+  spec.config = paper_config(opt);
+  return spec;
 }
 
 inline void print_table(const BenchOptions& opt, const AsciiTable& table) {

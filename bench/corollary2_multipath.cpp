@@ -6,29 +6,36 @@
 // This bench analyzes bs's eight pubbed paths, reports the per-path
 // pWCET@1e-12, the Corollary-2 combined bound as a function of how many
 // paths were analyzed, and validates every per-path bound against the
-// observed maxima of all original paths.
+// observed maxima of all original paths. Both halves are declarative
+// studies: a multipath analysis plus a measure campaign over all original
+// paths (the same requests `mbcr analyze --suite bs --mode multipath` and
+// `mbcr measure --suite bs --input all` serve).
 #include <algorithm>
 #include <iostream>
 
 #include "bench/common.hpp"
-#include "suite/malardalen.hpp"
 
 int main(int argc, char** argv) {
   using namespace mbcr;
   const bench::BenchOptions opt = bench::parse_options(
       argc, argv, "Corollary 2: lowest pWCET across pubbed paths");
 
-  const auto b = suite::make_bs();
-  const core::Analyzer analyzer(bench::paper_config(opt));
-  const auto multi = analyzer.analyze_pubbed_paths(b.program, b.path_inputs);
+  core::StudySpec multi_spec =
+      bench::paper_study(opt, "bs", core::StudyMode::kMultipath);
+  multi_spec.inputs = core::InputSelection::kAllPaths;
+  const core::StudyResult multi = core::run_study(multi_spec);
 
   // Ground truth: observed max over all original paths.
   const std::size_t truth_runs = bench::scaled_runs(opt, 100'000, 1'000'000);
+  core::StudySpec truth_spec =
+      bench::paper_study(opt, "bs", core::StudyMode::kMeasure);
+  truth_spec.inputs = core::InputSelection::kAllPaths;
+  truth_spec.measure_runs = truth_runs;
+  const core::StudyResult truth = core::run_study(truth_spec);
   double observed_max = 0;
-  for (const auto& in : b.path_inputs) {
-    const auto times = analyzer.measure(b.program, in, truth_runs);
+  for (const core::MeasureSample& s : truth.samples) {
     observed_max = std::max(
-        observed_max, *std::max_element(times.begin(), times.end()));
+        observed_max, *std::max_element(s.times.begin(), s.times.end()));
   }
 
   std::cout << "Corollary 2 on bs: per-path pWCET@1e-12 and the running "
@@ -37,8 +44,8 @@ int main(int argc, char** argv) {
                     "min so far", "bounds all orig paths?"});
   double running_min = 1e300;
   bool all_valid = true;
-  for (std::size_t i = 0; i < multi.per_path.size(); ++i) {
-    const auto& pa = multi.per_path[i];
+  for (std::size_t i = 0; i < multi.paths.size(); ++i) {
+    const core::PathAnalysis& pa = multi.paths[i];
     const double pw = pa.pwcet.at(1e-12);
     running_min = std::min(running_min, pw);
     const bool valid = pw >= observed_max;
@@ -53,14 +60,14 @@ int main(int argc, char** argv) {
             << " runs each): " << fmt(observed_max, 0) << " cycles\n";
   std::cout << "Corollary-2 combined pWCET@1e-12: "
             << fmt(multi.pwcet_at(1e-12), 0) << " cycles (path "
-            << multi.per_path[tightest].input_label << ")\n";
+            << multi.paths[tightest].input_label << ")\n";
   std::cout << "every per-path bound alone already upper-bounds all "
                "original paths: "
             << (all_valid ? "YES" : "NO") << "\n";
   std::cout << "tightening from 1 analyzed path to "
-            << multi.per_path.size() << ": "
+            << multi.paths.size() << ": "
             << fmt((1.0 - multi.pwcet_at(1e-12) /
-                              multi.per_path[0].pwcet.at(1e-12)) * 100.0, 1)
+                              multi.paths[0].pwcet.at(1e-12)) * 100.0, 1)
             << "% (no guarantee of improvement — paper Observation 5)\n";
   return all_valid ? 0 : 1;
 }

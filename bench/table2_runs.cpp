@@ -5,7 +5,12 @@
 // Expected shapes (paper Sec. 4.1): R_p+t >= R_pub in every row, often
 // much larger; no fixed relation between R_orig and R_pub (they are
 // different programs).
+//
+// Each row is two declarative studies (modes orig and pub_tac) through
+// core::run_study — the same requests `mbcr analyze --suite <name>
+// --mode orig|pub_tac` serves.
 #include <iostream>
+#include <string>
 
 #include "bench/common.hpp"
 #include "suite/malardalen.hpp"
@@ -15,22 +20,23 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(
       argc, argv, "Table 2: R_orig / R_pub / R_p+t per benchmark");
 
-  const core::Analyzer analyzer(bench::paper_config(opt));
-
   std::cout << "Table 2 reproduction (runs in thousands)\n\n";
   AsciiTable table({"benchmark", "R_orig (k)", "R_pub (k)", "R_p+t (k)"});
   bool shape_ok = true;
-  for (const auto& b : suite::malardalen_suite()) {
-    const core::PathAnalysis orig =
-        analyzer.analyze_original(b.program, b.default_input);
-    const core::PathAnalysis pub =
-        analyzer.analyze_pubbed(b.program, b.default_input);
-    table.add_row({b.name, fmt_kruns(static_cast<double>(orig.r_mbpta)),
-                   fmt_kruns(static_cast<double>(pub.r_mbpta)),
-                   fmt_kruns(static_cast<double>(pub.r_total))});
-    shape_ok &= pub.r_total >= pub.r_mbpta;
-    std::cerr << "  [" << b.name << " done: R_orig=" << orig.r_mbpta
-              << " R_pub=" << pub.r_mbpta << " R_p+t=" << pub.r_total
+  for (const suite::SuiteEntry& entry : suite::all()) {
+    const std::string name(entry.name);
+    const core::StudyResult orig = core::run_study(
+        bench::paper_study(opt, name, core::StudyMode::kOrig));
+    const core::StudyResult pub = core::run_study(
+        bench::paper_study(opt, name, core::StudyMode::kPubTac));
+    const core::PathAnalysis& o = orig.paths.front();
+    const core::PathAnalysis& p = pub.paths.front();
+    table.add_row({name, fmt_kruns(static_cast<double>(o.r_mbpta)),
+                   fmt_kruns(static_cast<double>(p.r_mbpta)),
+                   fmt_kruns(static_cast<double>(p.r_total))});
+    shape_ok &= p.r_total >= p.r_mbpta;
+    std::cerr << "  [" << name << " done: R_orig=" << o.r_mbpta
+              << " R_pub=" << p.r_mbpta << " R_p+t=" << p.r_total
               << "]\n";
   }
   bench::print_table(opt, table);

@@ -4,34 +4,35 @@
 // path cannot be constructed by inspection (paper Sec. 4.2). This example
 // measures several user inputs on the original program, then shows that
 // one pubbed path upper-bounds them all — including message patterns never
-// measured.
+// measured. All three steps are declarative studies (`mbcr measure --suite
+// crc --input all`, the same with --measure-pub, and `mbcr analyze --suite
+// crc --mode pub_tac`).
 //
 // Build & run:  ./build/examples/path_coverage_study
 #include <algorithm>
 #include <iostream>
 
-#include "core/analyzer.hpp"
-#include "mbpta/eccdf.hpp"
-#include "pub/pub_transform.hpp"
-#include "suite/malardalen.hpp"
+#include "core/study.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace mbcr;
 
-  const suite::SuiteBenchmark crc = suite::make_crc();
-  const core::Analyzer analyzer;
   constexpr std::size_t kRuns = 20'000;
+  const core::StudySpec measure_orig{.suite = "crc",
+                                     .mode = core::StudyMode::kMeasure,
+                                     .inputs = core::InputSelection::kAllPaths,
+                                     .measure_runs = kRuns};
 
   std::cout << "=== crc: original program under different inputs ===\n";
+  const core::StudyResult orig = core::run_study(measure_orig);
   AsciiTable table({"input", "mean", "max observed"});
   double global_max = 0;
-  for (const auto& in : crc.path_inputs) {
-    const auto times = analyzer.measure(crc.program, in, kRuns);
-    const double mx = *std::max_element(times.begin(), times.end());
+  for (const core::MeasureSample& s : orig.samples) {
+    const double mx = *std::max_element(s.times.begin(), s.times.end());
     global_max = std::max(global_max, mx);
-    table.add_row({in.label, fmt(mean(times), 0), fmt(mx, 0)});
+    table.add_row({s.input_label, fmt(mean(s.times), 0), fmt(mx, 0)});
   }
   table.print(std::cout);
   std::cout << "\nNote the spread across inputs: each input exercises a "
@@ -39,17 +40,19 @@ int main() {
                "the remainder-dependent branch count.\n\n";
 
   std::cout << "=== the pubbed program: any path covers them all ===\n";
-  const ir::Program pubbed = pub::apply_pub(crc.program);
+  core::StudySpec measure_pub = measure_orig;
+  measure_pub.measure_pub = true;
+  const core::StudyResult pubbed = core::run_study(measure_pub);
   AsciiTable ptable({"pubbed path", "mean", "max observed"});
-  for (const auto& in : crc.path_inputs) {
-    const auto times = analyzer.measure(pubbed, in, kRuns);
-    ptable.add_row({in.label, fmt(mean(times), 0),
-                    fmt(*std::max_element(times.begin(), times.end()), 0)});
+  for (const core::MeasureSample& s : pubbed.samples) {
+    ptable.add_row({s.input_label, fmt(mean(s.times), 0),
+                    fmt(*std::max_element(s.times.begin(), s.times.end()), 0)});
   }
   ptable.print(std::cout);
 
-  const core::PathAnalysis res =
-      analyzer.analyze_pubbed(crc.program, crc.default_input);
+  const core::StudySpec analyze{.suite = "crc"};  // defaults: pub_tac
+  const core::StudyResult study = core::run_study(analyze);
+  const core::PathAnalysis& res = study.paths.front();
   std::cout << "\npWCET@1e-12 from ONE pubbed path (" << res.r_total
             << " runs): " << fmt(res.pwcet.at(1e-12), 0) << " cycles\n";
   std::cout << "highest execution time ever observed on the original, any "

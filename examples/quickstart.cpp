@@ -10,27 +10,25 @@
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/analyzer.hpp"
-#include "util/table.hpp"
 #include "core/report.hpp"
-#include "suite/malardalen.hpp"
+#include "core/study.hpp"
+#include "util/table.hpp"
 
 int main() {
   using namespace mbcr;
 
-  // 1. A multipath program and one input vector (any path works —
-  //    Observation 3 of the paper; more paths only help tightness).
-  const suite::SuiteBenchmark bs = suite::make_bs();
+  // 1. One declarative study: the bs benchmark with its default input
+  //    (any path works — Observation 3 of the paper; more paths only help
+  //    tightness), full PUB+TAC mode, the paper's platform defaults.
+  //    `mbcr analyze --suite bs --mode pub_tac` runs the same request.
+  const core::StudySpec spec{.suite = "bs"};
 
-  // 2. The analyzer bundles the platform model (4KB 2-way random
+  // 2. run_study bundles the platform model (4KB 2-way random
   //    placement/replacement L1s), PUB, TAC and MBPTA.
-  const core::Analyzer analyzer;
+  const core::StudyResult study = core::run_study(spec);
+  const core::PathAnalysis& result = study.paths.front();
 
-  // 3. Full PUB+TAC analysis.
-  const core::PathAnalysis result =
-      analyzer.analyze_pubbed(bs.program, bs.default_input);
-
-  std::cout << "=== PUB+TAC analysis of '" << bs.program.name << "' ===\n";
+  std::cout << "=== PUB+TAC analysis of '" << spec.suite << "' ===\n";
   core::print_path_analysis(std::cout, result);
 
   std::cout << "\npWCET curve (exceedance probability, cycles):\n";

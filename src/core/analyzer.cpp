@@ -89,20 +89,29 @@ PathAnalysis Analyzer::analyze_pubbed(const ir::Program& program,
   return analyze_program(pubbed, input, with_tac);
 }
 
-double Analyzer::MultiPathAnalysis::pwcet_at(double p) const {
+double combined_pwcet_at(std::span<const PathAnalysis> paths, double p) {
   double best = std::numeric_limits<double>::infinity();
-  for (const PathAnalysis& a : per_path) {
+  for (const PathAnalysis& a : paths) {
     best = std::min(best, a.pwcet.at(p));
   }
-  return per_path.empty() ? 0.0 : best;
+  return paths.empty() ? 0.0 : best;
+}
+
+std::size_t tightest_path_index(std::span<const PathAnalysis> paths,
+                                double p) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    if (paths[i].pwcet.at(p) < paths[best].pwcet.at(p)) best = i;
+  }
+  return best;
+}
+
+double Analyzer::MultiPathAnalysis::pwcet_at(double p) const {
+  return combined_pwcet_at(per_path, p);
 }
 
 std::size_t Analyzer::MultiPathAnalysis::tightest_path(double p) const {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < per_path.size(); ++i) {
-    if (per_path[i].pwcet.at(p) < per_path[best].pwcet.at(p)) best = i;
-  }
-  return best;
+  return tightest_path_index(per_path, p);
 }
 
 Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(

@@ -8,6 +8,7 @@
 // the pubbed program, without TAC's representativeness runs).
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "ir/interp.hpp"
@@ -51,6 +52,12 @@ struct PathAnalysis {
 
   double pwcet_at(double p) const { return pwcet.at(p); }
 };
+
+/// Corollary 2 combinators over a set of per-path analyses: the lowest
+/// pWCET at `p` across paths (0 when empty), and the index of the path
+/// providing it. Shared by MultiPathAnalysis and the Study API.
+double combined_pwcet_at(std::span<const PathAnalysis> paths, double p);
+std::size_t tightest_path_index(std::span<const PathAnalysis> paths, double p);
 
 class Analyzer {
 public:

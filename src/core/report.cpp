@@ -1,7 +1,10 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <ostream>
+#include <sstream>
 
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace mbcr::core {
@@ -39,6 +42,102 @@ void print_pwcet_curve(std::ostream& os, const mbpta::PwcetCurve& curve,
   for (const auto& [p, v] : curve.curve(max_exp)) {
     os << p << "," << fmt(v, 0) << "\n";
   }
+}
+
+void print_study(std::ostream& os, const StudyResult& result) {
+  const StudySpec& spec = result.spec;
+  const double probability = spec.config.pwcet_probability;
+  os << "study: " << result.program_name << "  mode=" << to_string(spec.mode)
+     << "  inputs=" << spec.input_selector()
+     << "  seed=" << spec.config.campaign.master_seed << "\n\n";
+  for (const PathAnalysis& pa : result.paths) {
+    print_path_analysis(os, pa, probability);
+  }
+  if (result.paths.size() > 1) {
+    os << "\nCorollary-2 combined pWCET@" << probability << " = "
+       << fmt(result.pwcet_at(probability), 0) << " cycles (path "
+       << result.paths[result.tightest_path(probability)].input_label
+       << ")\n";
+  }
+  for (const MeasureSample& s : result.samples) {
+    const double mx = s.times.empty()
+                          ? 0.0
+                          : *std::max_element(s.times.begin(), s.times.end());
+    os << result.program_name << " [" << s.input_label
+       << "]  runs=" << s.times.size()
+       << "  mean=" << fmt(s.times.empty() ? 0.0 : mean(s.times), 0)
+       << "  max=" << fmt(mx, 0) << "\n";
+  }
+  os << "\nplatform runs executed: " << result.runs_executed << "\n";
+}
+
+namespace {
+
+double num_or(const json::Value* v, double fallback) {
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string str_or(const json::Value* v, const std::string& fallback) {
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+std::string prob_text(double p) {
+  std::ostringstream ss;
+  ss << p;  // default format keeps scientific notation: "1e-12"
+  return ss.str();
+}
+
+}  // namespace
+
+void print_study_json(std::ostream& os, const json::Value& doc) {
+  if (str_or(doc.find("schema"), "") != "mbcr-study-v1") {
+    throw std::runtime_error(
+        "not a study result (missing schema \"mbcr-study-v1\")");
+  }
+  const json::Value* spec = doc.find("spec");
+  const double probability =
+      spec ? num_or(spec->find("pwcet_probability"), 1e-12) : 1e-12;
+  os << "study: " << str_or(doc.find("program"), "?")
+     << "  mode=" << (spec ? str_or(spec->find("mode"), "?") : "?")
+     << "  inputs=" << (spec ? str_or(spec->find("input"), "?") : "?")
+     << "\n\n";
+
+  if (const json::Value* paths = doc.find("paths");
+      paths && paths->is_array() && !paths->as_array().empty()) {
+    AsciiTable table({"input", "trace", "typical", "R_mbpta", "R_tac",
+                      "R_total", "pWCET@" + prob_text(probability)});
+    for (const json::Value& p : paths->as_array()) {
+      const json::Value* pwcet = p.find("pwcet");
+      table.add_row(
+          {str_or(p.find("input"), "?"),
+           fmt(num_or(p.find("trace_accesses"), 0), 0),
+           fmt(num_or(p.find("baseline_cycles"), 0), 0),
+           fmt(num_or(p.find("r_mbpta"), 0), 0),
+           fmt(num_or(p.find("r_tac"), 0), 0),
+           fmt(num_or(p.find("r_total"), 0), 0),
+           fmt(pwcet ? num_or(pwcet->find("value"), 0) : 0, 0)});
+    }
+    table.print(os);
+  }
+  if (const json::Value* combined = doc.find("combined")) {
+    os << "\nCorollary-2 combined pWCET@"
+       << num_or(combined->find("pwcet_probability"), 0) << " = "
+       << fmt(num_or(combined->find("pwcet"), 0), 0) << " cycles (path "
+       << str_or(combined->find("tightest_path"), "?") << ")\n";
+  }
+  if (const json::Value* samples = doc.find("samples");
+      samples && samples->is_array() && !samples->as_array().empty()) {
+    AsciiTable table({"input", "runs", "mean", "max"});
+    for (const json::Value& s : samples->as_array()) {
+      table.add_row({str_or(s.find("input"), "?"),
+                     fmt(num_or(s.find("runs"), 0), 0),
+                     fmt(num_or(s.find("mean"), 0), 0),
+                     fmt(num_or(s.find("max"), 0), 0)});
+    }
+    table.print(os);
+  }
+  os << "\nplatform runs executed: "
+     << fmt(num_or(doc.find("runs_executed"), 0), 0) << "\n";
 }
 
 }  // namespace mbcr::core

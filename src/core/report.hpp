@@ -1,10 +1,12 @@
-// Human-readable reporting of analysis results (shared by benches and
-// examples).
+// Human-readable reporting of analysis results (shared by benches,
+// examples and the `mbcr` CLI).
 #pragma once
 
 #include <iosfwd>
 
 #include "core/analyzer.hpp"
+#include "core/study.hpp"
+#include "util/json.hpp"
 
 namespace mbcr::core {
 
@@ -15,5 +17,14 @@ void print_path_analysis(std::ostream& os, const PathAnalysis& analysis,
 /// Prints a pWCET curve as "p  pWCET" rows down to `max_exp`.
 void print_pwcet_curve(std::ostream& os, const mbpta::PwcetCurve& curve,
                        int max_exp = 15);
+
+/// Full study summary: spec line, every path, the Corollary-2 combined
+/// bound (multi-path studies), measure samples, run accounting.
+void print_study(std::ostream& os, const StudyResult& result);
+
+/// Pretty-prints a study result previously saved with
+/// StudyResult::write_json (the `mbcr report` subcommand). Tolerates
+/// missing members; throws std::runtime_error on a non-study document.
+void print_study_json(std::ostream& os, const json::Value& doc);
 
 }  // namespace mbcr::core

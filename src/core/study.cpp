@@ -1,0 +1,607 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "ir/randprog.hpp"
+#include "suite/malardalen.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mbcr::core {
+
+namespace {
+
+/// Shortest round-trippable text for a double (CSV cells; the JSON writer
+/// does the same internally).
+std::string num_text(double d) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  return std::string(buf, end);
+}
+
+json::Value num_or_null(double d) {
+  return std::isfinite(d) ? json::Value(d) : json::Value();
+}
+
+double parse_double(const char* flag, const std::string& text) {
+  std::size_t used = 0;
+  double out = 0;
+  try {
+    out = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != text.size() || !std::isfinite(out)) {
+    throw std::invalid_argument(std::string("flag --") + flag +
+                                ": expected a finite number, got '" + text +
+                                "'");
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  std::uint64_t out = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc() || end != text.data() + text.size()) {
+    throw std::invalid_argument(std::string("flag --") + flag +
+                                ": expected a non-negative integer, got '" +
+                                text + "'");
+  }
+  return out;
+}
+
+struct Resolved {
+  ir::Program program;
+  std::vector<ir::InputVector> inputs;
+};
+
+Resolved resolve(const StudySpec& spec) {
+  Resolved out;
+  if (!spec.suite.empty()) {
+    const suite::SuiteEntry* entry = suite::find(spec.suite);
+    if (!entry) {
+      throw std::invalid_argument("unknown suite benchmark: " + spec.suite);
+    }
+    suite::SuiteBenchmark b = entry->make();
+    out.program = std::move(b.program);
+    switch (spec.inputs) {
+      case InputSelection::kDefault:
+        out.inputs = {std::move(b.default_input)};
+        break;
+      case InputSelection::kAllPaths:
+        // Single-path kernels register no path inputs; the default input
+        // IS the path set.
+        out.inputs = b.path_inputs.empty()
+                         ? std::vector<ir::InputVector>{b.default_input}
+                         : std::move(b.path_inputs);
+        break;
+      case InputSelection::kLabel: {
+        if (b.default_input.label == spec.input_label) {
+          out.inputs = {std::move(b.default_input)};
+          break;
+        }
+        for (ir::InputVector& in : b.path_inputs) {
+          if (in.label == spec.input_label) {
+            out.inputs = {std::move(in)};
+            break;
+          }
+        }
+        if (out.inputs.empty()) {
+          std::string known;
+          for (const ir::InputVector& in : b.path_inputs) {
+            known += known.empty() ? in.label : ", " + in.label;
+          }
+          throw std::invalid_argument("no input labeled '" + spec.input_label +
+                                      "' in " + spec.suite +
+                                      " (known: " + known + ")");
+        }
+        break;
+      }
+    }
+  } else {
+    // Random program: the seed pins both the program and its inputs.
+    Xoshiro256 rng(*spec.randprog_seed);
+    const ir::RandProgConfig rp_config;
+    out.program = ir::random_program(rng, rp_config);
+    const std::size_t n = spec.inputs == InputSelection::kAllPaths ? 4 : 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      ir::InputVector in = ir::random_input(out.program, rng, rp_config);
+      in.label = "rnd" + std::to_string(i);
+      out.inputs.push_back(std::move(in));
+    }
+  }
+  return out;
+}
+
+json::Value tac_side_json(const tac::TacSequenceResult& side) {
+  json::Array events;
+  for (const tac::TacEvent& ev : side.events) {
+    json::Object e;
+    e.emplace_back("group_size", ev.group_size);
+    e.emplace_back("combination_count", ev.combination_count);
+    e.emplace_back("extra_misses", ev.extra_misses);
+    e.emplace_back("probability", ev.probability);
+    e.emplace_back("required_runs", ev.required_runs);
+    events.emplace_back(std::move(e));
+  }
+  json::Object o;
+  o.emplace_back("required_runs", side.required_runs);
+  o.emplace_back("groups_considered", side.groups_considered);
+  o.emplace_back("events", std::move(events));
+  return json::Value(std::move(o));
+}
+
+json::Value pwcet_json(const mbpta::PwcetCurve& curve, double probability,
+                       int max_exp) {
+  json::Object o;
+  o.emplace_back("probability", probability);
+  o.emplace_back("value", num_or_null(curve.at(probability)));
+  o.emplace_back("sample_size", curve.sample_size());
+  o.emplace_back("upper_bound", num_or_null(curve.upper_bound()));
+  {
+    const mbpta::ExpTailFit& tail = curve.tail();
+    json::Object t;
+    t.reserve(6);
+    t.emplace_back("threshold", tail.threshold);
+    t.emplace_back("rate", num_or_null(tail.rate));
+    t.emplace_back("zeta", tail.zeta);
+    t.emplace_back("n_exceedances", tail.n_exceedances);
+    t.emplace_back("cv", tail.cv);
+    t.emplace_back("cv_accepted", tail.cv_accepted);
+    o.emplace_back("tail", json::Value(std::move(t)));
+  }
+  {
+    const mbpta::IidReport& iid = curve.iid();
+    json::Object t;
+    t.reserve(5);
+    t.emplace_back("runs_test_p", iid.runs_test_p);
+    t.emplace_back("ljung_box_p", iid.ljung_box_p);
+    t.emplace_back("ks_split_p", iid.ks_split_p);
+    t.emplace_back("independent", iid.independent);
+    t.emplace_back("identically_distributed", iid.identically_distributed);
+    o.emplace_back("iid", json::Value(std::move(t)));
+  }
+  json::Array points;
+  for (const mbpta::PwcetCurve::CurvePoint& p : curve.grid(max_exp)) {
+    json::Object e;
+    e.emplace_back("p", p.probability);
+    e.emplace_back("pwcet", num_or_null(p.pwcet));
+    e.emplace_back("extrapolated", p.extrapolated);
+    points.emplace_back(std::move(e));
+  }
+  o.emplace_back("curve", std::move(points));
+  return json::Value(std::move(o));
+}
+
+json::Value path_json(const PathAnalysis& pa, double probability,
+                      int max_exp) {
+  json::Object o;
+  o.emplace_back("program", pa.program_name);
+  o.emplace_back("input", pa.input_label);
+  o.emplace_back("trace_accesses", pa.trace_accesses);
+  o.emplace_back("baseline_cycles", pa.baseline_cycles);
+  o.emplace_back("r_mbpta", pa.r_mbpta);
+  o.emplace_back("r_tac", pa.r_tac);
+  o.emplace_back("r_total", pa.r_total);
+  if (pa.tac.required_runs > 0) {  // TAC ran for this path
+    json::Object t;
+    t.emplace_back("required_runs", pa.tac.required_runs);
+    t.emplace_back("il1", tac_side_json(pa.tac.il1));
+    t.emplace_back("dl1", tac_side_json(pa.tac.dl1));
+    o.emplace_back("tac", json::Value(std::move(t)));
+  } else {
+    o.emplace_back("tac", json::Value());
+  }
+  o.emplace_back("pwcet", pwcet_json(pa.pwcet, probability, max_exp));
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+const char* to_string(StudyMode mode) {
+  switch (mode) {
+    case StudyMode::kOrig: return "orig";
+    case StudyMode::kPub: return "pub";
+    case StudyMode::kPubTac: return "pub_tac";
+    case StudyMode::kMultipath: return "multipath";
+    case StudyMode::kMeasure: return "measure";
+  }
+  return "?";
+}
+
+StudyMode parse_study_mode(const std::string& text) {
+  if (text == "orig") return StudyMode::kOrig;
+  if (text == "pub") return StudyMode::kPub;
+  if (text == "pub_tac") return StudyMode::kPubTac;
+  if (text == "multipath") return StudyMode::kMultipath;
+  if (text == "measure") return StudyMode::kMeasure;
+  throw std::invalid_argument(
+      "unknown study mode '" + text +
+      "' (expected orig|pub|pub_tac|multipath|measure)");
+}
+
+void StudySpec::validate() const {
+  const bool has_suite = !suite.empty();
+  if (has_suite == randprog_seed.has_value()) {
+    throw std::invalid_argument(
+        "study spec must name exactly one program source: a suite benchmark "
+        "or a randprog seed");
+  }
+  if (has_suite && suite::find(suite) == nullptr) {
+    throw std::invalid_argument("unknown suite benchmark: " + suite);
+  }
+  if (inputs == InputSelection::kLabel) {
+    if (!has_suite) {
+      throw std::invalid_argument(
+          "explicit input labels require a suite benchmark");
+    }
+    if (input_label.empty()) {
+      throw std::invalid_argument("input selection by label needs a label");
+    }
+  }
+  // Negated comparisons so NaN fails the checks too.
+  if (!(config.pwcet_probability > 0.0 && config.pwcet_probability < 1.0)) {
+    throw std::invalid_argument("pwcet probability must be in (0, 1)");
+  }
+  if (mode == StudyMode::kMeasure && measure_runs == 0) {
+    throw std::invalid_argument("measure mode needs at least one run");
+  }
+  if (curve_max_exp < 1 || curve_max_exp > 30) {
+    throw std::invalid_argument("curve_max_exp must be in [1, 30]");
+  }
+  if (!(config.convergence.tolerance > 0.0)) {
+    throw std::invalid_argument("convergence tolerance must be positive");
+  }
+  config.machine.il1.validate();
+  config.machine.dl1.validate();
+}
+
+std::string StudySpec::input_selector() const {
+  switch (inputs) {
+    case InputSelection::kDefault: return "default";
+    case InputSelection::kAllPaths: return "all";
+    case InputSelection::kLabel: return input_label;
+  }
+  return "default";
+}
+
+void StudySpec::set_input_selector(const std::string& selector) {
+  if (selector == "default" || selector.empty()) {
+    inputs = InputSelection::kDefault;
+    input_label.clear();
+  } else if (selector == "all") {
+    inputs = InputSelection::kAllPaths;
+    input_label.clear();
+  } else {
+    inputs = InputSelection::kLabel;
+    input_label = selector;
+  }
+}
+
+std::map<std::string, std::string> StudySpec::flag_spec() {
+  return {
+      {"suite", ""},       {"randprog", ""},
+      {"mode", "pub_tac"}, {"input", "default"},
+      {"seed", "42"},      {"threads", "0"},
+      {"grain", "64"},     {"sets", "64"},
+      {"ways", "2"},       {"line", "32"},
+      {"mem-latency", "100"},
+      {"min-runs", "300"}, {"delta", "100"},
+      {"window", "5"},     {"tolerance", "0.03"},
+      {"max-runs", "200000"},
+      {"tac-target", "1e-09"},
+      {"tac-cap", "2000000"},
+      {"probe-runs", "64"},
+      {"pwcet-prob", "1e-12"},
+      {"runs", "10000"},   {"measure-pub", "false"},
+      {"curve-exp", "15"},
+      {"pub-merge", "scs"},
+      {"pad-loops", "true"},
+  };
+}
+
+StudySpec StudySpec::from_flags(
+    const std::map<std::string, std::string>& flags) {
+  static const std::map<std::string, std::string> defaults = flag_spec();
+  const auto get = [&](const char* key) -> const std::string& {
+    const auto it = flags.find(key);
+    return it != flags.end() ? it->second : defaults.at(key);
+  };
+
+  StudySpec spec;
+  spec.suite = get("suite");
+  if (const std::string& rp = get("randprog"); !rp.empty()) {
+    spec.randprog_seed = parse_u64("randprog", rp);
+  }
+  spec.mode = parse_study_mode(get("mode"));
+  spec.set_input_selector(get("input"));
+
+  spec.config.campaign.master_seed = parse_u64("seed", get("seed"));
+  spec.config.campaign.threads =
+      static_cast<unsigned>(parse_u64("threads", get("threads")));
+  spec.config.campaign.grain =
+      static_cast<std::size_t>(parse_u64("grain", get("grain")));
+
+  const auto sets = static_cast<std::uint32_t>(parse_u64("sets", get("sets")));
+  const auto ways = static_cast<std::uint32_t>(parse_u64("ways", get("ways")));
+  const auto line = parse_u64("line", get("line"));
+  spec.config.machine.il1 = CacheConfig{sets, ways, line};
+  spec.config.machine.dl1 = CacheConfig{sets, ways, line};
+  spec.config.machine.timing.mem_latency =
+      parse_u64("mem-latency", get("mem-latency"));
+
+  spec.config.convergence.min_runs =
+      static_cast<std::size_t>(parse_u64("min-runs", get("min-runs")));
+  spec.config.convergence.delta =
+      static_cast<std::size_t>(parse_u64("delta", get("delta")));
+  spec.config.convergence.window =
+      static_cast<std::size_t>(parse_u64("window", get("window")));
+  spec.config.convergence.tolerance =
+      parse_double("tolerance", get("tolerance"));
+  spec.config.convergence.max_runs =
+      static_cast<std::size_t>(parse_u64("max-runs", get("max-runs")));
+
+  spec.config.tac.target_miss_prob =
+      parse_double("tac-target", get("tac-target"));
+  spec.config.tac.max_runs_cap =
+      static_cast<std::size_t>(parse_u64("tac-cap", get("tac-cap")));
+
+  spec.config.baseline_probe_runs =
+      static_cast<std::size_t>(parse_u64("probe-runs", get("probe-runs")));
+  spec.config.pwcet_probability =
+      parse_double("pwcet-prob", get("pwcet-prob"));
+
+  spec.measure_runs = static_cast<std::size_t>(parse_u64("runs", get("runs")));
+  spec.measure_pub = truthy(get("measure-pub"));
+  spec.curve_max_exp =
+      static_cast<int>(parse_u64("curve-exp", get("curve-exp")));
+
+  const std::string& merge = get("pub-merge");
+  if (merge == "scs") {
+    spec.config.pub.merge = pub::BranchMerge::kScsInterleave;
+  } else if (merge == "append") {
+    spec.config.pub.merge = pub::BranchMerge::kAppendGhost;
+  } else {
+    throw std::invalid_argument("flag --pub-merge: expected scs|append, got '" +
+                                merge + "'");
+  }
+  spec.config.pub.pad_loops = truthy(get("pad-loops"));
+  return spec;
+}
+
+json::Value StudySpec::to_json() const {
+  json::Object o;
+  o.emplace_back("suite", suite.empty() ? json::Value() : json::Value(suite));
+  // Seeds are 64-bit and exceed double precision past 2^53; they are
+  // serialized as decimal strings so a replayed spec reproduces the exact
+  // campaign.
+  o.emplace_back("randprog_seed",
+                 randprog_seed ? json::Value(std::to_string(*randprog_seed))
+                               : json::Value());
+  o.emplace_back("mode", to_string(mode));
+  o.emplace_back("input", input_selector());
+  {
+    const auto cache_json = [](const CacheConfig& c) {
+      json::Object t;
+      t.reserve(3);
+      t.emplace_back("sets", c.sets);
+      t.emplace_back("ways", c.ways);
+      t.emplace_back("line_bytes", c.line_bytes);
+      return json::Value(std::move(t));
+    };
+    json::Object m;
+    m.reserve(3);
+    m.emplace_back("il1", cache_json(config.machine.il1));
+    m.emplace_back("dl1", cache_json(config.machine.dl1));
+    json::Object timing;
+    timing.reserve(3);
+    timing.emplace_back("issue_cycles", config.machine.timing.issue_cycles);
+    timing.emplace_back("dl1_hit_cycles", config.machine.timing.dl1_hit_cycles);
+    timing.emplace_back("mem_latency", config.machine.timing.mem_latency);
+    m.emplace_back("timing", json::Value(std::move(timing)));
+    o.emplace_back("machine", json::Value(std::move(m)));
+  }
+  {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("master_seed", std::to_string(config.campaign.master_seed));
+    c.emplace_back("threads", config.campaign.threads);
+    c.emplace_back("grain", config.campaign.grain);
+    o.emplace_back("campaign", json::Value(std::move(c)));
+  }
+  {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("min_runs", config.convergence.min_runs);
+    c.emplace_back("delta", config.convergence.delta);
+    c.emplace_back("window", config.convergence.window);
+    c.emplace_back("tolerance", config.convergence.tolerance);
+    c.emplace_back("max_runs", config.convergence.max_runs);
+    o.emplace_back("convergence", json::Value(std::move(c)));
+  }
+  {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("initial_tail_fraction",
+                   config.convergence.evt.initial_tail_fraction);
+    c.emplace_back("min_tail_fraction",
+                   config.convergence.evt.min_tail_fraction);
+    c.emplace_back("min_exceedances", config.convergence.evt.min_exceedances);
+    c.emplace_back("cv_band_sigmas", config.convergence.evt.cv_band_sigmas);
+    o.emplace_back("evt", json::Value(std::move(c)));
+  }
+  {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("target_miss_prob", config.tac.target_miss_prob);
+    c.emplace_back("impact_rel_threshold", config.tac.impact_rel_threshold);
+    c.emplace_back("min_extra_misses", config.tac.min_extra_misses);
+    c.emplace_back("ignore_event_prob", config.tac.ignore_event_prob);
+    c.emplace_back("larger_group_margin", config.tac.larger_group_margin);
+    c.emplace_back("max_runs_cap", config.tac.max_runs_cap);
+    o.emplace_back("tac", json::Value(std::move(c)));
+  }
+  {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("merge", config.pub.merge == pub::BranchMerge::kScsInterleave
+                                ? "scs"
+                                : "append");
+    c.emplace_back("pad_loops", config.pub.pad_loops);
+    o.emplace_back("pub", json::Value(std::move(c)));
+  }
+  o.emplace_back("pwcet_probability", config.pwcet_probability);
+  o.emplace_back("probe_runs", config.baseline_probe_runs);
+  o.emplace_back("measure_runs", measure_runs);
+  o.emplace_back("measure_pub", measure_pub);
+  o.emplace_back("curve_max_exp", curve_max_exp);
+  return json::Value(std::move(o));
+}
+
+double StudyResult::pwcet_at(double p) const {
+  return combined_pwcet_at(paths, p);
+}
+
+std::size_t StudyResult::tightest_path(double p) const {
+  return tightest_path_index(paths, p);
+}
+
+json::Value StudyResult::to_json() const {
+  const double probability = spec.config.pwcet_probability;
+  json::Object doc;
+  doc.reserve(7);
+  doc.emplace_back("schema", "mbcr-study-v1");
+  doc.emplace_back("spec", spec.to_json());
+  doc.emplace_back("program", program_name);
+  {
+    json::Array arr;
+    for (const PathAnalysis& pa : paths) {
+      arr.push_back(path_json(pa, probability, spec.curve_max_exp));
+    }
+    doc.emplace_back("paths", std::move(arr));
+  }
+  if (paths.size() > 1) {
+    json::Object c;
+    c.reserve(8);
+    c.emplace_back("pwcet_probability", probability);
+    c.emplace_back("pwcet", num_or_null(pwcet_at(probability)));
+    c.emplace_back("tightest_path",
+                   paths[tightest_path(probability)].input_label);
+    doc.emplace_back("combined", json::Value(std::move(c)));
+  }
+  if (!samples.empty()) {
+    json::Array arr;
+    for (const MeasureSample& s : samples) {
+      json::Object e;
+      e.emplace_back("input", s.input_label);
+      e.emplace_back("runs", s.times.size());
+      e.emplace_back("mean", s.times.empty() ? 0.0 : mean(s.times));
+      e.emplace_back("max", s.times.empty()
+                                ? 0.0
+                                : *std::max_element(s.times.begin(),
+                                                    s.times.end()));
+      json::Array times;
+      times.reserve(s.times.size());
+      for (const double t : s.times) times.emplace_back(t);
+      e.emplace_back("times", std::move(times));
+      arr.emplace_back(std::move(e));
+    }
+    doc.emplace_back("samples", std::move(arr));
+  }
+  doc.emplace_back("runs_executed", runs_executed);
+  return json::Value(std::move(doc));
+}
+
+void StudyResult::write_json(std::ostream& os) const {
+  to_json().write(os, 2);
+  os << "\n";
+}
+
+void StudyResult::write_csv(std::ostream& os) const {
+  const double probability = spec.config.pwcet_probability;
+  if (!samples.empty()) {
+    os << "program,input,run,cycles\n";
+    for (const MeasureSample& s : samples) {
+      for (std::size_t i = 0; i < s.times.size(); ++i) {
+        os << program_name << "," << s.input_label << "," << i << ","
+           << num_text(s.times[i]) << "\n";
+      }
+    }
+    return;
+  }
+  os << "program,input,trace_accesses,baseline_cycles,r_mbpta,r_tac,r_total,"
+        "pwcet_probability,pwcet\n";
+  for (const PathAnalysis& pa : paths) {
+    os << pa.program_name << "," << pa.input_label << "," << pa.trace_accesses
+       << "," << num_text(pa.baseline_cycles) << "," << pa.r_mbpta << ","
+       << pa.r_tac << "," << pa.r_total << "," << num_text(probability) << ","
+       << num_text(pa.pwcet.at(probability)) << "\n";
+  }
+}
+
+StudyResult run_study(const StudySpec& requested) {
+  StudySpec spec = requested;
+  if (spec.mode == StudyMode::kMultipath &&
+      spec.inputs == InputSelection::kDefault) {
+    spec.inputs = InputSelection::kAllPaths;
+  }
+  spec.validate();
+  Resolved resolved = resolve(spec);
+
+  const Analyzer analyzer(spec.config);
+  StudyResult out;
+  out.spec = spec;
+
+  switch (spec.mode) {
+    case StudyMode::kMeasure: {
+      const ir::Program* program = &resolved.program;
+      ir::Program pubbed;
+      if (spec.measure_pub) {
+        pubbed = pub::apply_pub(resolved.program, spec.config.pub);
+        program = &pubbed;
+      }
+      out.program_name = program->name;
+      for (const ir::InputVector& in : resolved.inputs) {
+        out.samples.push_back(
+            {in.label, analyzer.measure(*program, in, spec.measure_runs)});
+        out.runs_executed += spec.measure_runs;
+      }
+      break;
+    }
+    case StudyMode::kMultipath: {
+      Analyzer::MultiPathAnalysis multi = analyzer.analyze_pubbed_paths(
+          resolved.program, resolved.inputs, /*with_tac=*/true);
+      out.paths = std::move(multi.per_path);
+      break;
+    }
+    case StudyMode::kOrig:
+    case StudyMode::kPub:
+    case StudyMode::kPubTac:
+      for (const ir::InputVector& in : resolved.inputs) {
+        out.paths.push_back(
+            spec.mode == StudyMode::kOrig
+                ? analyzer.analyze_original(resolved.program, in)
+                : analyzer.analyze_pubbed(resolved.program, in,
+                                          spec.mode == StudyMode::kPubTac));
+      }
+      break;
+  }
+
+  if (!out.paths.empty()) {
+    out.program_name = out.paths.front().program_name;
+    for (const PathAnalysis& pa : out.paths) {
+      out.runs_executed += spec.config.baseline_probe_runs +
+                           std::max(pa.r_total, pa.pwcet.sample_size());
+    }
+  }
+  return out;
+}
+
+}  // namespace mbcr::core

@@ -21,13 +21,21 @@ double PwcetCurve::at(double p) const {
   return std::min(std::max(empirical, tail_.quantile(p)), upper_bound_);
 }
 
-std::vector<std::pair<double, double>> PwcetCurve::curve(int max_exp) const {
-  std::vector<std::pair<double, double>> out;
+std::vector<PwcetCurve::CurvePoint> PwcetCurve::grid(int max_exp) const {
+  std::vector<CurvePoint> out;
   for (int e = 1; e <= max_exp; ++e) {
     for (double mantissa : {1.0, 0.5, 0.2}) {
       const double p = mantissa * std::pow(10.0, -e);
-      out.emplace_back(p, at(p));
+      out.push_back({p, at(p), p < tail_.zeta});
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> PwcetCurve::curve(int max_exp) const {
+  std::vector<std::pair<double, double>> out;
+  for (const CurvePoint& point : grid(max_exp)) {
+    out.emplace_back(point.probability, point.pwcet);
   }
   return out;
 }

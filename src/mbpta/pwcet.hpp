@@ -40,8 +40,21 @@ public:
   const IidReport& iid() const { return iid_; }
   std::size_t sample_size() const { return eccdf_.size(); }
 
-  /// (exceedance probability, pWCET) series on a log grid, for plots:
-  /// p = 1e-1 ... 1e-{max_exp}.
+  /// One point of the serialized log-grid curve. `extrapolated` marks
+  /// probabilities past the sample's empirical resolution, where the value
+  /// comes from the fitted tail model rather than an observation — the
+  /// solid/dashed split of the paper's Fig. 4.
+  struct CurvePoint {
+    double probability = 0;
+    double pwcet = 0;
+    bool extrapolated = false;
+  };
+
+  /// Serialization-grade curve on the log grid (mantissas {1, .5, .2} per
+  /// decade down to 1e-max_exp).
+  std::vector<CurvePoint> grid(int max_exp = 15) const;
+
+  /// (exceedance probability, pWCET) series on the same grid, for plots.
   std::vector<std::pair<double, double>> curve(int max_exp = 15) const;
 
 private:

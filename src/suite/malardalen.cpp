@@ -1,42 +1,48 @@
 #include "suite/malardalen.hpp"
 
-#include <functional>
-#include <map>
 #include <stdexcept>
 
 namespace mbcr::suite {
 
+namespace {
+
+// Table 2 order.
+constexpr SuiteEntry kRegistry[] = {
+    {"bs", make_bs},
+    {"cnt", make_cnt},
+    {"fir", make_fir},
+    {"janne", make_janne},
+    {"crc", make_crc},
+    {"edn", make_edn},
+    {"insertsort", make_insertsort},
+    {"jfdct", make_jfdct},
+    {"matmult", make_matmult},
+    {"fdct", make_fdct},
+    {"ns", make_ns},
+};
+
+}  // namespace
+
+std::span<const SuiteEntry> all() { return kRegistry; }
+
+const SuiteEntry* find(std::string_view name) {
+  for (const SuiteEntry& entry : kRegistry) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
 std::vector<SuiteBenchmark> malardalen_suite() {
-  // Table 2 order.
   std::vector<SuiteBenchmark> out;
-  out.push_back(make_bs());
-  out.push_back(make_cnt());
-  out.push_back(make_fir());
-  out.push_back(make_janne());
-  out.push_back(make_crc());
-  out.push_back(make_edn());
-  out.push_back(make_insertsort());
-  out.push_back(make_jfdct());
-  out.push_back(make_matmult());
-  out.push_back(make_fdct());
-  out.push_back(make_ns());
+  out.reserve(std::size(kRegistry));
+  for (const SuiteEntry& entry : all()) out.push_back(entry.make());
   return out;
 }
 
 SuiteBenchmark make_benchmark(const std::string& name) {
-  static const std::map<std::string, SuiteBenchmark (*)()> kFactories = {
-      {"bs", make_bs},           {"cnt", make_cnt},
-      {"fir", make_fir},         {"janne", make_janne},
-      {"crc", make_crc},         {"edn", make_edn},
-      {"insertsort", make_insertsort}, {"jfdct", make_jfdct},
-      {"matmult", make_matmult}, {"fdct", make_fdct},
-      {"ns", make_ns},
-  };
-  const auto it = kFactories.find(name);
-  if (it == kFactories.end()) {
-    throw std::out_of_range("unknown benchmark: " + name);
-  }
-  return it->second();
+  const SuiteEntry* entry = find(name);
+  if (!entry) throw std::out_of_range("unknown benchmark: " + name);
+  return entry->make();
 }
 
 }  // namespace mbcr::suite

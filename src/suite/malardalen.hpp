@@ -12,7 +12,9 @@
 // path are bs, cnt, fir and janne, while crc's default does not.
 #pragma once
 
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/program.hpp"
@@ -42,6 +44,21 @@ SuiteBenchmark make_jfdct();
 SuiteBenchmark make_matmult();
 SuiteBenchmark make_fdct();
 SuiteBenchmark make_ns();
+
+/// One row of the public suite registry: kernel name + factory. Going
+/// through the registry (rather than a private factory map) lets callers —
+/// `mbcr list`, the Study API, sweep drivers — enumerate or look up
+/// benchmarks without constructing all of them.
+struct SuiteEntry {
+  std::string_view name;
+  SuiteBenchmark (*make)();
+};
+
+/// The full registry, in the paper's Table 2 order.
+std::span<const SuiteEntry> all();
+
+/// Registry lookup; nullptr for unknown names.
+const SuiteEntry* find(std::string_view name);
 
 /// All eleven benchmarks in the paper's Table 2 order.
 std::vector<SuiteBenchmark> malardalen_suite();

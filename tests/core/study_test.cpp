@@ -1,0 +1,369 @@
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "suite/malardalen.hpp"
+#include "util/json.hpp"
+
+namespace mbcr::core {
+namespace {
+
+/// Small campaigns so the whole suite stays test-sized.
+StudySpec fast_spec(const std::string& suite, StudyMode mode) {
+  StudySpec spec;
+  spec.suite = suite;
+  spec.mode = mode;
+  spec.config.convergence.max_runs = 5000;
+  spec.config.tac.max_runs_cap = 5000;
+  spec.curve_max_exp = 12;
+  return spec;
+}
+
+TEST(StudyMode, RoundTripsThroughStrings) {
+  for (const StudyMode mode :
+       {StudyMode::kOrig, StudyMode::kPub, StudyMode::kPubTac,
+        StudyMode::kMultipath, StudyMode::kMeasure}) {
+    EXPECT_EQ(parse_study_mode(to_string(mode)), mode);
+  }
+  EXPECT_THROW(parse_study_mode("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_study_mode(""), std::invalid_argument);
+}
+
+TEST(StudySpec, FlagDefaultsReproduceDefaultSpec) {
+  const StudySpec spec = StudySpec::from_flags(StudySpec::flag_spec());
+  const StudySpec dflt;
+  EXPECT_EQ(spec.suite, "");
+  EXPECT_FALSE(spec.randprog_seed.has_value());
+  EXPECT_EQ(spec.mode, dflt.mode);
+  EXPECT_EQ(spec.inputs, dflt.inputs);
+  EXPECT_EQ(spec.config.campaign.master_seed,
+            dflt.config.campaign.master_seed);
+  EXPECT_EQ(spec.config.campaign.grain, dflt.config.campaign.grain);
+  EXPECT_EQ(spec.config.machine.il1.sets, dflt.config.machine.il1.sets);
+  EXPECT_EQ(spec.config.machine.dl1.ways, dflt.config.machine.dl1.ways);
+  EXPECT_EQ(spec.config.convergence.min_runs,
+            dflt.config.convergence.min_runs);
+  EXPECT_DOUBLE_EQ(spec.config.convergence.tolerance,
+                   dflt.config.convergence.tolerance);
+  EXPECT_EQ(spec.config.convergence.max_runs,
+            dflt.config.convergence.max_runs);
+  EXPECT_DOUBLE_EQ(spec.config.tac.target_miss_prob,
+                   dflt.config.tac.target_miss_prob);
+  EXPECT_EQ(spec.config.tac.max_runs_cap, dflt.config.tac.max_runs_cap);
+  EXPECT_EQ(spec.config.baseline_probe_runs, dflt.config.baseline_probe_runs);
+  EXPECT_DOUBLE_EQ(spec.config.pwcet_probability,
+                   dflt.config.pwcet_probability);
+  EXPECT_EQ(spec.measure_runs, dflt.measure_runs);
+  EXPECT_EQ(spec.measure_pub, dflt.measure_pub);
+  EXPECT_EQ(spec.curve_max_exp, dflt.curve_max_exp);
+  EXPECT_EQ(spec.config.pub.merge, dflt.config.pub.merge);
+  EXPECT_EQ(spec.config.pub.pad_loops, dflt.config.pub.pad_loops);
+}
+
+TEST(StudySpec, FromFlagsParsesOverrides) {
+  auto flags = StudySpec::flag_spec();
+  flags["suite"] = "crc";
+  flags["mode"] = "multipath";
+  flags["input"] = "all";
+  flags["seed"] = "7";
+  flags["sets"] = "8";
+  flags["ways"] = "4";
+  flags["tolerance"] = "0.05";
+  flags["max-runs"] = "1234";
+  flags["pwcet-prob"] = "1e-9";
+  flags["measure-pub"] = "true";
+  flags["pub-merge"] = "append";
+  const StudySpec spec = StudySpec::from_flags(flags);
+  EXPECT_EQ(spec.suite, "crc");
+  EXPECT_EQ(spec.mode, StudyMode::kMultipath);
+  EXPECT_EQ(spec.inputs, InputSelection::kAllPaths);
+  EXPECT_EQ(spec.config.campaign.master_seed, 7u);
+  EXPECT_EQ(spec.config.machine.il1.sets, 8u);
+  EXPECT_EQ(spec.config.machine.dl1.ways, 4u);
+  EXPECT_DOUBLE_EQ(spec.config.convergence.tolerance, 0.05);
+  EXPECT_EQ(spec.config.convergence.max_runs, 1234u);
+  EXPECT_DOUBLE_EQ(spec.config.pwcet_probability, 1e-9);
+  EXPECT_TRUE(spec.measure_pub);
+  EXPECT_EQ(spec.config.pub.merge, pub::BranchMerge::kAppendGhost);
+}
+
+TEST(StudySpec, FromFlagsRejectsBadValues) {
+  auto flags = StudySpec::flag_spec();
+  flags["seed"] = "not-a-number";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["tolerance"] = "0.03x";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["mode"] = "everything";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["pub-merge"] = "zip";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  // Non-finite numbers must not slip into a spec (NaN passes naive range
+  // checks).
+  flags = StudySpec::flag_spec();
+  flags["pwcet-prob"] = "nan";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["tolerance"] = "inf";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+}
+
+TEST(StudySpec, InputSelectorRoundTrips) {
+  StudySpec spec;
+  spec.set_input_selector("default");
+  EXPECT_EQ(spec.inputs, InputSelection::kDefault);
+  EXPECT_EQ(spec.input_selector(), "default");
+  spec.set_input_selector("all");
+  EXPECT_EQ(spec.inputs, InputSelection::kAllPaths);
+  EXPECT_EQ(spec.input_selector(), "all");
+  spec.set_input_selector("v9");
+  EXPECT_EQ(spec.inputs, InputSelection::kLabel);
+  EXPECT_EQ(spec.input_label, "v9");
+  EXPECT_EQ(spec.input_selector(), "v9");
+}
+
+TEST(StudySpec, ValidateRejectsInconsistentSpecs) {
+  StudySpec none;  // no program source
+  EXPECT_THROW(none.validate(), std::invalid_argument);
+
+  StudySpec both;
+  both.suite = "bs";
+  both.randprog_seed = 1;
+  EXPECT_THROW(both.validate(), std::invalid_argument);
+
+  StudySpec unknown;
+  unknown.suite = "not-a-kernel";
+  EXPECT_THROW(unknown.validate(), std::invalid_argument);
+
+  StudySpec bad_prob;
+  bad_prob.suite = "bs";
+  bad_prob.config.pwcet_probability = 2.0;
+  EXPECT_THROW(bad_prob.validate(), std::invalid_argument);
+
+  StudySpec nan_prob;
+  nan_prob.suite = "bs";
+  nan_prob.config.pwcet_probability = std::nan("");
+  EXPECT_THROW(nan_prob.validate(), std::invalid_argument);
+
+  StudySpec nan_tol;
+  nan_tol.suite = "bs";
+  nan_tol.config.convergence.tolerance = std::nan("");
+  EXPECT_THROW(nan_tol.validate(), std::invalid_argument);
+
+  StudySpec zero_measure;
+  zero_measure.suite = "bs";
+  zero_measure.mode = StudyMode::kMeasure;
+  zero_measure.measure_runs = 0;
+  EXPECT_THROW(zero_measure.validate(), std::invalid_argument);
+
+  StudySpec rand_label;
+  rand_label.randprog_seed = 1;
+  rand_label.inputs = InputSelection::kLabel;
+  rand_label.input_label = "v1";
+  EXPECT_THROW(rand_label.validate(), std::invalid_argument);
+
+  StudySpec ok;
+  ok.suite = "bs";
+  EXPECT_NO_THROW(ok.validate());
+}
+
+// The acceptance pin: the declarative surface must produce exactly the
+// numbers of the direct Analyzer call it wraps (`mbcr analyze --suite bs
+// --mode pub_tac` == Analyzer::analyze_pubbed).
+TEST(RunStudy, PubTacMatchesDirectAnalyzerCall) {
+  StudySpec spec = fast_spec("bs", StudyMode::kPubTac);
+  spec.config.convergence.max_runs = 20000;
+  spec.config.tac.max_runs_cap = 50000;
+  const StudyResult result = run_study(spec);
+
+  const auto b = suite::make_bs();
+  const Analyzer analyzer(spec.config);
+  const PathAnalysis direct = analyzer.analyze_pubbed(b.program,
+                                                      b.default_input);
+
+  ASSERT_EQ(result.paths.size(), 1u);
+  const PathAnalysis& via_study = result.paths.front();
+  EXPECT_EQ(result.program_name, "bs.pub");
+  EXPECT_EQ(via_study.input_label, direct.input_label);
+  EXPECT_EQ(via_study.trace_accesses, direct.trace_accesses);
+  EXPECT_DOUBLE_EQ(via_study.baseline_cycles, direct.baseline_cycles);
+  EXPECT_EQ(via_study.r_mbpta, direct.r_mbpta);
+  EXPECT_EQ(via_study.r_tac, direct.r_tac);
+  EXPECT_EQ(via_study.r_total, direct.r_total);
+  EXPECT_DOUBLE_EQ(via_study.pwcet.at(1e-12), direct.pwcet.at(1e-12));
+  EXPECT_DOUBLE_EQ(via_study.pwcet.at(1e-6), direct.pwcet.at(1e-6));
+  EXPECT_GE(result.runs_executed,
+            direct.r_total + spec.config.baseline_probe_runs);
+}
+
+TEST(RunStudy, OrigModeSkipsTac) {
+  const StudyResult result = run_study(fast_spec("bs", StudyMode::kOrig));
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.program_name, "bs");
+  EXPECT_EQ(result.paths[0].r_tac, 0u);
+}
+
+TEST(RunStudy, MultipathCoversAllPathsAndNormalizesSelection) {
+  // inputs left at kDefault: multipath normalizes to kAllPaths.
+  const StudyResult result =
+      run_study(fast_spec("bs", StudyMode::kMultipath));
+  EXPECT_EQ(result.spec.inputs, InputSelection::kAllPaths);
+  ASSERT_EQ(result.paths.size(), 8u);  // bs's eight max-iteration paths
+  const double combined = result.pwcet_at(1e-12);
+  for (const PathAnalysis& pa : result.paths) {
+    EXPECT_LE(combined, pa.pwcet.at(1e-12));
+  }
+  EXPECT_LT(result.tightest_path(1e-12), result.paths.size());
+}
+
+TEST(RunStudy, LabelSelectionAnalyzesExactlyThatPath) {
+  const auto b = suite::make_bs();
+  StudySpec spec = fast_spec("bs", StudyMode::kMeasure);
+  spec.measure_runs = 50;
+  spec.inputs = InputSelection::kLabel;
+  spec.input_label = b.path_inputs[2].label;
+  const StudyResult result = run_study(spec);
+  ASSERT_EQ(result.samples.size(), 1u);
+  EXPECT_EQ(result.samples[0].input_label, b.path_inputs[2].label);
+  EXPECT_EQ(result.samples[0].times.size(), 50u);
+  EXPECT_EQ(result.runs_executed, 50u);
+
+  spec.input_label = "no-such-path";
+  EXPECT_THROW(run_study(spec), std::invalid_argument);
+}
+
+TEST(RunStudy, MeasureMatchesAnalyzerMeasure) {
+  StudySpec spec = fast_spec("edn", StudyMode::kMeasure);
+  spec.measure_runs = 64;
+  const StudyResult result = run_study(spec);
+  const auto b = suite::make_edn();
+  const Analyzer analyzer(spec.config);
+  ASSERT_EQ(result.samples.size(), 1u);
+  EXPECT_EQ(result.samples[0].times,
+            analyzer.measure(b.program, b.default_input, 64));
+}
+
+TEST(RunStudy, MeasurePubMeasuresThePubbedProgram) {
+  StudySpec spec = fast_spec("bs", StudyMode::kMeasure);
+  spec.measure_runs = 32;
+  spec.measure_pub = true;
+  const StudyResult result = run_study(spec);
+  EXPECT_EQ(result.program_name, "bs.pub");
+}
+
+TEST(RunStudy, RandprogSeedIsAValidProgramSource) {
+  StudySpec spec;
+  spec.randprog_seed = 7;
+  spec.mode = StudyMode::kMeasure;
+  spec.measure_runs = 40;
+  const StudyResult r1 = run_study(spec);
+  ASSERT_EQ(r1.samples.size(), 1u);
+  EXPECT_EQ(r1.samples[0].times.size(), 40u);
+  // Same seed, same program, same sample.
+  const StudyResult r2 = run_study(spec);
+  EXPECT_EQ(r1.program_name, r2.program_name);
+  EXPECT_EQ(r1.samples[0].times, r2.samples[0].times);
+}
+
+TEST(StudyResult, JsonRoundTrips) {
+  StudySpec spec = fast_spec("bs", StudyMode::kPubTac);
+  spec.config.convergence.max_runs = 2000;
+  spec.config.tac.max_runs_cap = 2000;
+  spec.curve_max_exp = 12;
+  const StudyResult result = run_study(spec);
+
+  std::ostringstream ss;
+  result.write_json(ss);
+  const json::Value doc = json::parse(ss.str());
+
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v1");
+  EXPECT_EQ(doc.at("program").as_string(), "bs.pub");
+  EXPECT_EQ(doc.at("spec").at("mode").as_string(), "pub_tac");
+  EXPECT_EQ(doc.at("spec").at("suite").as_string(), "bs");
+  EXPECT_DOUBLE_EQ(doc.at("spec").at("pwcet_probability").as_number(), 1e-12);
+  // Seeds are 64-bit: serialized as decimal strings, not lossy doubles.
+  EXPECT_EQ(doc.at("spec").at("campaign").at("master_seed").as_string(),
+            "42");
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("runs_executed").as_number()),
+            result.runs_executed);
+
+  const json::Array& paths = doc.at("paths").as_array();
+  ASSERT_EQ(paths.size(), 1u);
+  const json::Value& p = paths[0];
+  EXPECT_EQ(p.at("input").as_string(), result.paths[0].input_label);
+  EXPECT_DOUBLE_EQ(p.at("r_mbpta").as_number(), result.paths[0].r_mbpta);
+  EXPECT_DOUBLE_EQ(p.at("r_tac").as_number(), result.paths[0].r_tac);
+  EXPECT_DOUBLE_EQ(p.at("pwcet").at("value").as_number(),
+                   result.paths[0].pwcet.at(1e-12));
+  // The emitted curve sits on the log grid: 3 mantissas per decade.
+  EXPECT_EQ(p.at("pwcet").at("curve").as_array().size(),
+            static_cast<std::size_t>(3 * spec.curve_max_exp));
+  EXPECT_TRUE(p.at("tac").is_object());  // TAC ran
+
+  // A saved document pretty-prints (`mbcr report`).
+  std::ostringstream report;
+  print_study_json(report, doc);
+  EXPECT_NE(report.str().find("bs.pub"), std::string::npos);
+  EXPECT_NE(report.str().find("R_total"), std::string::npos);
+
+  // And serialization is a fixed point.
+  EXPECT_EQ(json::parse(doc.dump(2)).dump(2), doc.dump(2));
+}
+
+TEST(StudyResult, MeasureJsonCarriesSamples) {
+  StudySpec spec = fast_spec("bs", StudyMode::kMeasure);
+  spec.measure_runs = 25;
+  const StudyResult result = run_study(spec);
+  std::ostringstream ss;
+  result.write_json(ss);
+  const json::Value doc = json::parse(ss.str());
+  const json::Array& samples = doc.at("samples").as_array();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].at("runs").as_number(), 25.0);
+  EXPECT_EQ(samples[0].at("times").as_array().size(), 25u);
+  EXPECT_DOUBLE_EQ(samples[0].at("times").as_array()[0].as_number(),
+                   result.samples[0].times[0]);
+}
+
+TEST(StudyResult, CsvEmitters) {
+  StudySpec spec = fast_spec("bs", StudyMode::kPub);
+  spec.config.convergence.max_runs = 1000;
+  const StudyResult analysis = run_study(spec);
+  std::ostringstream csv;
+  analysis.write_csv(csv);
+  EXPECT_NE(csv.str().find("program,input,trace_accesses"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("bs.pub,v1,"), std::string::npos);
+
+  StudySpec mspec = fast_spec("bs", StudyMode::kMeasure);
+  mspec.measure_runs = 3;
+  std::ostringstream mcsv;
+  run_study(mspec).write_csv(mcsv);
+  EXPECT_NE(mcsv.str().find("program,input,run,cycles"), std::string::npos);
+  EXPECT_NE(mcsv.str().find("bs,v1,2,"), std::string::npos);
+}
+
+TEST(StudyResult, PrintStudySummarizes) {
+  StudySpec spec = fast_spec("bs", StudyMode::kPub);
+  spec.config.convergence.max_runs = 1000;
+  const StudyResult result = run_study(spec);
+  std::ostringstream ss;
+  print_study(ss, result);
+  EXPECT_NE(ss.str().find("mode=pub"), std::string::npos);
+  EXPECT_NE(ss.str().find("platform runs executed"), std::string::npos);
+}
+
+TEST(PrintStudyJson, RejectsForeignDocuments) {
+  std::ostringstream ss;
+  EXPECT_THROW(print_study_json(ss, json::parse("{\"schema\": \"other\"}")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mbcr::core

@@ -30,6 +30,26 @@ TEST(Suite, LookupByName) {
   EXPECT_THROW(make_benchmark("unknown"), std::out_of_range);
 }
 
+TEST(Suite, RegistryListsElevenEntriesInTable2Order) {
+  const auto entries = all();
+  ASSERT_EQ(entries.size(), 11u);
+  EXPECT_EQ(entries.front().name, "bs");
+  EXPECT_EQ(entries.back().name, "ns");
+  // Every registry entry's factory builds the benchmark it names.
+  for (const SuiteEntry& entry : entries) {
+    EXPECT_EQ(entry.make().name, entry.name);
+  }
+}
+
+TEST(Suite, FindReturnsRegistryEntryOrNull) {
+  const SuiteEntry* bs = find("bs");
+  ASSERT_NE(bs, nullptr);
+  EXPECT_EQ(bs->name, "bs");
+  EXPECT_EQ(bs->make().path_inputs.size(), 8u);
+  EXPECT_EQ(find("unknown"), nullptr);
+  EXPECT_EQ(find(""), nullptr);
+}
+
 TEST(Suite, AllDefaultInputsExecute) {
   for (const auto& b : malardalen_suite()) {
     EXPECT_NO_THROW(lower_and_execute(b.program, b.default_input))

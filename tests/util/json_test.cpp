@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mbcr::json {
+namespace {
+
+TEST(Json, ParsesPrimitives) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse("1e-12").as_number(), 1e-12);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  // Two-byte UTF-8 and a combined surrogate pair.
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParsesContainers) {
+  const Value v = parse(R"({"a": [1, 2, 3], "b": {"c": true}, "d": null})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_TRUE(v.at("a").is_array());
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_TRUE(v.at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  const Value v = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const Object& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("{"), std::invalid_argument);
+  EXPECT_THROW(parse("[1,"), std::invalid_argument);
+  EXPECT_THROW(parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse("truth"), std::invalid_argument);
+  EXPECT_THROW(parse("1 2"), std::invalid_argument);  // trailing content
+  EXPECT_THROW(parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(parse("nul"), std::invalid_argument);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = parse("42");
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.as_bool(), std::runtime_error);
+}
+
+TEST(Json, WriteParseRoundTripsExactly) {
+  Object o;
+  o.emplace_back("name", "bs.pub");
+  o.emplace_back("probability", 1e-12);
+  o.emplace_back("tolerance", 0.03);
+  o.emplace_back("runs", 123456789);
+  o.emplace_back("flag", true);
+  o.emplace_back("nothing", nullptr);
+  o.emplace_back("times", Array{812.0, 1112.5, 0.1});
+  Object nested;
+  nested.emplace_back("zeta", 0.0123);
+  o.emplace_back("tail", Value(std::move(nested)));
+  const Value doc{std::move(o)};
+
+  const Value back = parse(doc.dump(2));
+  EXPECT_EQ(back.at("name").as_string(), "bs.pub");
+  EXPECT_DOUBLE_EQ(back.at("probability").as_number(), 1e-12);
+  EXPECT_DOUBLE_EQ(back.at("tolerance").as_number(), 0.03);
+  EXPECT_DOUBLE_EQ(back.at("runs").as_number(), 123456789.0);
+  EXPECT_TRUE(back.at("flag").as_bool());
+  EXPECT_TRUE(back.at("nothing").is_null());
+  EXPECT_DOUBLE_EQ(back.at("times").as_array()[2].as_number(), 0.1);
+  EXPECT_DOUBLE_EQ(back.at("tail").at("zeta").as_number(), 0.0123);
+
+  // Serialization is a fixed point: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(back.dump(2), doc.dump(2));
+  EXPECT_EQ(parse(doc.dump(0)).dump(2), doc.dump(2));  // compact too
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  const Value v{std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(v.dump(0), "null");
+  const Value n{std::nan("")};
+  EXPECT_EQ(n.dump(0), "null");
+}
+
+TEST(Json, SetAppendsAndReplaces) {
+  Value v;  // null promotes to object
+  v.set("a", 1);
+  v.set("b", 2);
+  v.set("a", 3);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.as_object().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 3.0);
+}
+
+TEST(Json, NumberArraysWriteOnOneLine) {
+  const Value v{Array{1.0, 2.0, 3.0}};
+  EXPECT_EQ(v.dump(2), "[1, 2, 3]");
+}
+
+TEST(Json, EscapesControlCharactersOnWrite) {
+  const Value v{std::string("a\nb\x01")};
+  EXPECT_EQ(v.dump(0), "\"a\\nb\\u0001\"");
+  EXPECT_EQ(parse(v.dump(0)).as_string(), "a\nb\x01");
+}
+
+}  // namespace
+}  // namespace mbcr::json

@@ -1,0 +1,178 @@
+// mbcr — the paper's evaluation grid as a command line.
+//
+// Every study the benches/examples compile in can also be requested
+// declaratively here, without writing a driver:
+//
+//   mbcr analyze --suite bs --mode pub_tac            # full Fig. 3 process
+//   mbcr analyze --suite bs --mode multipath          # Corollary 2, 8 paths
+//   mbcr measure --suite crc --input all --runs 20000 # raw ECCDF campaigns
+//   mbcr pub     --suite cnt                          # PUB-only baseline
+//   mbcr tac     --suite bs                           # TAC event detail
+//   mbcr list                                         # suite registry
+//   mbcr analyze --suite bs --json bs.json && mbcr report bs.json
+//
+// All subcommands accept the StudySpec flag surface (see `mbcr analyze
+// --help`); results can be emitted as JSON (--json FILE) and CSV
+// (--csv FILE), with "-" meaning stdout.
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "suite/malardalen.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mbcr;
+
+std::map<std::string, std::string> study_flags(bool with_mode) {
+  std::map<std::string, std::string> flags = core::StudySpec::flag_spec();
+  if (!with_mode) flags.erase("mode");
+  flags.emplace("json", "");
+  flags.emplace("csv", "");
+  return flags;
+}
+
+void emit_to(const std::string& path, const char* what,
+             const std::function<void(std::ostream&)>& write) {
+  if (path == "-") {
+    write(std::cout);
+    return;
+  }
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error(std::string("cannot write ") + path);
+  write(file);
+  std::cerr << "[" << what << " written to " << path << "]\n";
+}
+
+int emit(const core::StudyResult& result, const SubcommandCli::Parsed& cmd) {
+  const std::string& json_path = cmd.str("json");
+  const std::string& csv_path = cmd.str("csv");
+  if (!json_path.empty()) {
+    emit_to(json_path, "json",
+            [&](std::ostream& os) { result.write_json(os); });
+  }
+  if (!csv_path.empty()) {
+    emit_to(csv_path, "csv", [&](std::ostream& os) { result.write_csv(os); });
+  }
+  if (json_path != "-" && csv_path != "-") {
+    core::print_study(std::cout, result);
+  }
+  return 0;
+}
+
+core::StudyResult run_spec(const SubcommandCli::Parsed& cmd,
+                           const char* forced_mode) {
+  core::StudySpec spec = core::StudySpec::from_flags(cmd.values);
+  if (forced_mode) spec.mode = core::parse_study_mode(forced_mode);
+  return core::run_study(spec);
+}
+
+int cmd_analyze(const SubcommandCli::Parsed& cmd, const char* forced_mode) {
+  return emit(run_spec(cmd, forced_mode), cmd);
+}
+
+int cmd_tac(const SubcommandCli::Parsed& cmd) {
+  const core::StudyResult result = run_spec(cmd, "pub_tac");
+  const int code = emit(result, cmd);
+  if (cmd.str("json") == "-" || cmd.str("csv") == "-") {
+    return code;  // stdout carries machine-readable output; no table
+  }
+  // TAC event detail per path, beyond the summary lines.
+  AsciiTable table({"input", "side", "k", "combos", "extra misses",
+                    "p(event)", "R"});
+  for (const core::PathAnalysis& pa : result.paths) {
+    const auto add_side = [&](const char* side,
+                              const tac::TacSequenceResult& r) {
+      for (const tac::TacEvent& ev : r.events) {
+        std::ostringstream p;
+        p << ev.probability;
+        table.add_row({pa.input_label, side, std::to_string(ev.group_size),
+                       fmt(ev.combination_count, 0), fmt(ev.extra_misses, 1),
+                       p.str(), std::to_string(ev.required_runs)});
+      }
+    };
+    add_side("IL1", pa.tac.il1);
+    add_side("DL1", pa.tac.dl1);
+  }
+  if (table.rows() == 0) {
+    std::cout << "\nno relevant TAC events above the impact threshold\n";
+  } else {
+    std::cout << "\nTAC events (impact above threshold):\n";
+    table.print(std::cout);
+  }
+  return code;
+}
+
+int cmd_list() {
+  AsciiTable table({"benchmark", "classification", "path inputs",
+                    "default hits worst path"});
+  for (const suite::SuiteEntry& entry : suite::all()) {
+    const suite::SuiteBenchmark b = entry.make();
+    table.add_row({std::string(entry.name),
+                   b.single_path ? "single-path" : "multipath",
+                   std::to_string(std::max<std::size_t>(
+                       1, b.path_inputs.size())),
+                   b.single_path ? "n/a"
+                                 : (b.default_hits_worst_path ? "yes" : "no")});
+  }
+  table.print(std::cout);
+  std::cout << "\n11 Malardalen kernels (paper Table 2 order); analyze one "
+               "with `mbcr analyze --suite <name>`.\n";
+  return 0;
+}
+
+int cmd_report(const SubcommandCli::Parsed& cmd) {
+  const std::string& path = cmd.str("file");
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  core::print_study_json(std::cout, doc);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SubcommandCli cli(
+      "mbcr",
+      "mbcr — measurement-based probabilistic timing analysis with PUB+TAC\n"
+      "(DAC'18 reproduction): declarative studies over the Malardalen suite\n"
+      "and random programs, on the randomized-cache platform model.");
+  cli.add_command({"analyze", "run a study (choose the mode with --mode)",
+                   study_flags(/*with_mode=*/true), {}});
+  cli.add_command({"measure",
+                   "raw measurement campaign, no EVT (mode=measure)",
+                   study_flags(false), {}});
+  cli.add_command({"pub", "PUB-only analysis, no TAC (mode=pub)",
+                   study_flags(false), {}});
+  cli.add_command({"tac", "PUB+TAC analysis with TAC event detail",
+                   study_flags(false), {}});
+  cli.add_command({"list", "list the benchmark suite registry", {}, {}});
+  cli.add_command({"report", "pretty-print a saved JSON study result",
+                   {}, {"file"}});
+
+  const SubcommandCli::Parsed cmd = cli.parse_or_exit(argc, argv);
+  try {
+    if (cmd.command == "analyze") return cmd_analyze(cmd, nullptr);
+    if (cmd.command == "measure") return cmd_analyze(cmd, "measure");
+    if (cmd.command == "pub") return cmd_analyze(cmd, "pub");
+    if (cmd.command == "tac") return cmd_tac(cmd);
+    if (cmd.command == "list") return cmd_list();
+    if (cmd.command == "report") return cmd_report(cmd);
+    std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mbcr: " << e.what() << "\n";
+    return 1;
+  }
+}
