@@ -6,6 +6,9 @@
 //   --paper 1   shortcut for the paper's original sample sizes
 //   --seed N    master seed (default 42)
 //   --csv 1     machine-readable output where applicable
+//   --max-runs N / --tac-cap N
+//               cap MBPTA convergence / TAC required runs (0 = paper-config
+//               defaults; CI smoke runs set small caps)
 #pragma once
 
 #include <cstdint>
@@ -27,6 +30,10 @@ struct BenchOptions {
   bool csv = false;
   /// Campaign-engine grain: runs per pool chunk (0 = engine default).
   std::size_t grain = 0;
+  /// Convergence / TAC caps (0 = the bench's paper-config values). CI
+  /// smoke runs cap these so analysis benches finish in seconds.
+  std::size_t max_runs = 0;
+  std::size_t tac_cap = 0;
 };
 
 inline BenchOptions parse_options(int argc, char** argv,
@@ -36,7 +43,9 @@ inline BenchOptions parse_options(int argc, char** argv,
            {"paper", "false"},
            {"seed", "42"},
            {"csv", "false"},
-           {"grain", "0"}},
+           {"grain", "0"},
+           {"max-runs", "0"},
+           {"tac-cap", "0"}},
           description);
   BenchOptions opt;
   opt.scale = cli.real("scale");
@@ -44,6 +53,8 @@ inline BenchOptions parse_options(int argc, char** argv,
   opt.seed = static_cast<std::uint64_t>(cli.integer("seed"));
   opt.csv = cli.flag("csv");
   opt.grain = static_cast<std::size_t>(cli.integer("grain"));
+  opt.max_runs = static_cast<std::size_t>(cli.integer("max-runs"));
+  opt.tac_cap = static_cast<std::size_t>(cli.integer("tac-cap"));
   return opt;
 }
 
@@ -63,8 +74,8 @@ inline core::AnalysisConfig paper_config(const BenchOptions& opt) {
   core::AnalysisConfig cfg;
   cfg.campaign.master_seed = opt.seed;
   if (opt.grain > 0) cfg.campaign.grain = opt.grain;
-  cfg.convergence.max_runs = 200'000;
-  cfg.tac.max_runs_cap = 600'000;
+  cfg.convergence.max_runs = opt.max_runs > 0 ? opt.max_runs : 200'000;
+  cfg.tac.max_runs_cap = opt.tac_cap > 0 ? opt.tac_cap : 600'000;
   cfg.pwcet_probability = 1e-12;
   return cfg;
 }

@@ -44,6 +44,31 @@ void BM_MachineRunOnce(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineRunOnce)->Arg(0)->Arg(1)->Arg(2);
 
+// Hot-path overhead of the two-level hierarchy, tracked from day one:
+// the same trace replayed L1-only (arg 0), with a random L2 (arg 1) and
+// with a deterministic LRU L2 (arg 2). items/sec == accesses/sec, so the
+// L2 rows directly show the per-access cost of the second level.
+void BM_MachineRunOnceHierarchy(benchmark::State& state) {
+  const auto b = suite::make_benchmark("crc");
+  const auto trace = CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+  platform::MachineConfig cfg;
+  if (state.range(0) == 1) cfg.l2 = HierarchyConfig::shared_l2_random();
+  if (state.range(0) == 2) cfg.l2 = HierarchyConfig::shared_l2_lru();
+  const platform::Machine machine(cfg);
+  platform::RunWorkspace ws;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run_once(trace, ++seed, ws));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+  state.SetLabel(state.range(0) == 0   ? "L1 only"
+                 : state.range(0) == 1 ? "L1+L2 random"
+                                       : "L1+L2 lru");
+}
+BENCHMARK(BM_MachineRunOnceHierarchy)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_ParallelCampaign(benchmark::State& state) {
   const auto b = suite::make_benchmark("ns");
   const auto trace = CompactTrace::from(

@@ -1,17 +1,49 @@
-// Geometry of a set-associative cache.
+// Geometry and placement flavor of a set-associative cache.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "mem/address.hpp"
+#include "util/rng.hpp"
 
 namespace mbcr {
+
+/// How a randomized cache maps a line to a set (re-seeded every run).
+///
+/// * `kHash`   — seeded-hash random placement: every line lands in an
+///   independently uniform set. This is the design TAC's
+///   `(1/S)^(k-1)` co-mapping probabilities assume.
+/// * `kModulo` — random-modulo placement (Hernandez et al.): the line's
+///   modulo offset is preserved and each S-line block gets a uniformly
+///   random per-run rotation, so lines inside one block can never
+///   co-map. Sequential data keeps its conflict-freedom while placement
+///   across blocks stays random.
+enum class Placement : std::uint8_t { kHash, kModulo };
+
+const char* to_string(Placement placement);
+/// Accepts "hash" or "modulo"; throws std::invalid_argument otherwise.
+Placement parse_placement(const std::string& text);
+
+/// The set `line` maps to under `placement` with per-run seed `seed`.
+inline std::uint32_t placement_set(Placement placement, Addr line,
+                                   std::uint64_t seed, std::uint32_t sets) {
+  if (placement == Placement::kModulo) {
+    // Reduce the rotation before adding: the raw sum could wrap in
+    // uint64 for non-power-of-two set counts, which would break the
+    // same-block-lines-never-co-map invariant TAC relies on.
+    return static_cast<std::uint32_t>(
+        (line % sets + mix64(line / sets, seed) % sets) % sets);
+  }
+  return static_cast<std::uint32_t>(mix64(line, seed) % sets);
+}
 
 struct CacheConfig {
   std::uint32_t sets = 64;   ///< paper evaluation: 4KB / 32B / 2 ways = 64
   std::uint32_t ways = 2;
   Addr line_bytes = kDefaultLineBytes;
+  Placement placement = Placement::kHash;  ///< randomization flavor
 
   std::uint64_t size_bytes() const {
     return static_cast<std::uint64_t>(sets) * ways * line_bytes;

@@ -1,0 +1,47 @@
+#include "cache/hierarchy.hpp"
+
+#include <stdexcept>
+
+namespace mbcr {
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kHash: return "hash";
+    case Placement::kModulo: return "modulo";
+  }
+  return "?";
+}
+
+Placement parse_placement(const std::string& text) {
+  if (text == "hash") return Placement::kHash;
+  if (text == "modulo") return Placement::kModulo;
+  throw std::invalid_argument("unknown placement '" + text +
+                              "' (expected hash|modulo)");
+}
+
+const char* to_string(L2Policy policy) {
+  switch (policy) {
+    case L2Policy::kRandom: return "random";
+    case L2Policy::kLru: return "lru";
+  }
+  return "?";
+}
+
+L2Policy parse_l2_policy(const std::string& text) {
+  if (text == "random") return L2Policy::kRandom;
+  if (text == "lru") return L2Policy::kLru;
+  throw std::invalid_argument("unknown L2 policy '" + text +
+                              "' (expected random|lru)");
+}
+
+void HierarchyConfig::validate(Addr l1_line_bytes) const {
+  if (!enabled) return;
+  l2.validate();
+  if (l2.line_bytes != l1_line_bytes) {
+    throw std::invalid_argument(
+        "L2 line size must match the L1s' (one compact trace feeds every "
+        "level)");
+  }
+}
+
+}  // namespace mbcr

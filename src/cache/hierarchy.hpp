@@ -1,0 +1,75 @@
+// Two-level memory hierarchy: an optional unified L2 behind the paper's
+// split random L1s.
+//
+// The paper's evaluation platform stops at the L1s (every miss pays the
+// full memory latency). A `HierarchyConfig` places a shared second level
+// behind both L1 sides, with configurable geometry, lookup latency and
+// policy:
+//
+// * `kRandom` — the MBPTA-compliant design carried down one level:
+//   per-run seeded random placement (hash or random-modulo, per the
+//   geometry's `CacheConfig::placement`) and uniform random replacement.
+//   L2 conflict layouts become another probabilistic event source that
+//   TAC must cover (see tac/runs.hpp).
+// * `kLru` — a deterministic baseline: plain modulo placement and
+//   true-LRU replacement. It adds no placement randomness, so the
+//   platform's timing variability still comes from the L1s alone.
+//
+// Timing: an L1 miss always pays `latency` cycles to probe the L2; an L2
+// miss additionally pays the machine's `mem_latency`. With the hierarchy
+// disabled (the default) an L1 miss pays `mem_latency` directly and the
+// platform is bit-identical to the single-level model.
+//
+// The hierarchy is non-inclusive non-exclusive ("NINE"): both levels
+// allocate on miss and neither invalidates the other — the simplest
+// design that keeps each level's contents a pure function of its own
+// access stream, which is what the fast replay and TAC both rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache_config.hpp"
+
+namespace mbcr {
+
+/// Replacement/placement policy of the unified L2.
+enum class L2Policy : std::uint8_t {
+  kRandom,  ///< random placement (per CacheConfig::placement) + random victim
+  kLru,     ///< deterministic: modulo placement + true LRU
+};
+
+const char* to_string(L2Policy policy);
+/// Accepts "random" or "lru"; throws std::invalid_argument otherwise.
+L2Policy parse_l2_policy(const std::string& text);
+
+struct HierarchyConfig {
+  bool enabled = false;
+  /// L2 geometry. The line size must match the L1s' (one compact trace
+  /// feeds every level); `Machine` validates this.
+  CacheConfig l2{256, 8, kDefaultLineBytes};  ///< 64KB unified default
+  L2Policy policy = L2Policy::kRandom;
+  /// Cycles an L1 miss pays to probe the L2 (hit or miss).
+  std::uint64_t latency = 10;
+
+  /// Throws std::invalid_argument on bad geometry or a line size that
+  /// differs from `l1_line_bytes`. No-op when disabled.
+  void validate(Addr l1_line_bytes) const;
+
+  /// 64KB 8-way random L2 behind the paper's 4KB L1s.
+  static HierarchyConfig shared_l2_random() {
+    HierarchyConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+  }
+
+  /// Same geometry, deterministic LRU.
+  static HierarchyConfig shared_l2_lru() {
+    HierarchyConfig cfg;
+    cfg.enabled = true;
+    cfg.policy = L2Policy::kLru;
+    return cfg;
+  }
+};
+
+}  // namespace mbcr

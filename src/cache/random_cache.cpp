@@ -13,8 +13,7 @@ RandomCache::RandomCache(const CacheConfig& config,
 }
 
 std::uint32_t RandomCache::set_of_line(Addr line) const {
-  return static_cast<std::uint32_t>(mix64(line, placement_seed_) %
-                                    config_.sets);
+  return placement_set(config_.placement, line, placement_seed_, config_.sets);
 }
 
 bool RandomCache::access(Addr addr) {

@@ -6,7 +6,10 @@
 // Random placement: a per-run seed drives a mixing hash from line address to
 // set index, so each memory object lands in an independently (pseudo-)
 // uniformly chosen set on every run — this is what gives cache layouts the
-// `(1/S)^(k-1)` probabilities TAC reasons about.
+// `(1/S)^(k-1)` probabilities TAC reasons about. The alternative
+// random-modulo flavor (CacheConfig::placement == Placement::kModulo)
+// rotates each S-line block by a per-run uniform offset instead, so lines
+// within one block keep their conflict-freedom (see cache_config.hpp).
 // Random replacement: on a miss, the victim way is drawn uniformly.
 #pragma once
 

@@ -33,12 +33,14 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
     out.baseline_cycles = mean(probe);
   }
 
-  // 3. TAC on the trace (both cache sides).
+  // 3. TAC on the trace (both cache sides, plus the unified L2 when the
+  // hierarchy is enabled).
   if (with_tac) {
     out.tac = tac::analyze_trace(
         exec.trace, config_.machine.il1, config_.machine.dl1,
         out.baseline_cycles,
-        static_cast<double>(config_.machine.timing.mem_latency), config_.tac);
+        static_cast<double>(config_.machine.timing.mem_latency), config_.tac,
+        config_.machine.l2);
     out.r_tac = out.tac.required_runs;
   }
 
@@ -65,12 +67,20 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
       std::span<const double>(convergence.sample.data(), out.r_mbpta),
       conv.evt);
   out.pwcet = mbpta::PwcetCurve(convergence.sample, conv.evt);
-  // Architectural ceiling: no run can cost more than every access missing.
+  // Architectural ceiling: no run can cost more than every access missing
+  // at every level (with a hierarchy, a full miss adds the L2 probe on top
+  // of the memory latency).
   const TimingParams& t = config_.machine.timing;
+  const double worst_extra =
+      config_.machine.l2.enabled
+          ? static_cast<double>(config_.machine.l2.latency)
+          : 0.0;
   double ceiling = 0;
   for (const CompactTrace::Entry& e : trace.entries) {
-    ceiling += static_cast<double>(
-        t.cost(e.is_instr ? AccessKind::kIFetch : AccessKind::kLoad, false));
+    ceiling += static_cast<double>(t.cost(
+                   e.is_instr ? AccessKind::kIFetch : AccessKind::kLoad,
+                   false)) +
+               worst_extra;
   }
   out.pwcet.set_upper_bound(ceiling);
   out.pwcet_converged_only.set_upper_bound(ceiling);

@@ -17,7 +17,8 @@ void print_path_analysis(std::ostream& os, const PathAnalysis& analysis,
   os << "  runs: R_mbpta=" << analysis.r_mbpta
      << "  R_tac=" << analysis.r_tac << "  R_total=" << analysis.r_total
      << "\n";
-  if (!analysis.tac.il1.events.empty() || !analysis.tac.dl1.events.empty()) {
+  if (!analysis.tac.il1.events.empty() || !analysis.tac.dl1.events.empty() ||
+      !analysis.tac.l2.events.empty()) {
     auto dump_side = [&](const char* side, const tac::TacSequenceResult& r) {
       for (const auto& ev : r.events) {
         os << "  tac[" << side << "]: k=" << ev.group_size
@@ -29,6 +30,7 @@ void print_path_analysis(std::ostream& os, const PathAnalysis& analysis,
     };
     dump_side("IL1", analysis.tac.il1);
     dump_side("DL1", analysis.tac.dl1);
+    dump_side("L2", analysis.tac.l2);
   }
   os << "  pWCET@" << probability << " = "
      << fmt(analysis.pwcet.at(probability), 0) << " cycles ("
@@ -90,9 +92,13 @@ std::string prob_text(double p) {
 }  // namespace
 
 void print_study_json(std::ostream& os, const json::Value& doc) {
-  if (str_or(doc.find("schema"), "") != "mbcr-study-v1") {
+  // v1 documents predate the memory hierarchy and carry a strict subset
+  // of the v2 members, so one reader serves both.
+  const std::string schema = str_or(doc.find("schema"), "");
+  if (schema != "mbcr-study-v1" && schema != "mbcr-study-v2") {
     throw std::runtime_error(
-        "not a study result (missing schema \"mbcr-study-v1\")");
+        "not a study result (expected schema \"mbcr-study-v1\" or "
+        "\"mbcr-study-v2\")");
   }
   const json::Value* spec = doc.find("spec");
   const double probability =

@@ -195,6 +195,9 @@ json::Value path_json(const PathAnalysis& pa, double probability,
     t.emplace_back("required_runs", pa.tac.required_runs);
     t.emplace_back("il1", tac_side_json(pa.tac.il1));
     t.emplace_back("dl1", tac_side_json(pa.tac.dl1));
+    if (pa.tac.l2.required_runs > 0) {  // a random L2 was analyzed
+      t.emplace_back("l2", tac_side_json(pa.tac.l2));
+    }
     o.emplace_back("tac", json::Value(std::move(t)));
   } else {
     o.emplace_back("tac", json::Value());
@@ -261,6 +264,12 @@ void StudySpec::validate() const {
   }
   config.machine.il1.validate();
   config.machine.dl1.validate();
+  config.machine.l2.validate(config.machine.il1.line_bytes);
+  if (config.machine.l2.enabled &&
+      config.machine.dl1.line_bytes != config.machine.il1.line_bytes) {
+    throw std::invalid_argument(
+        "a unified L2 requires IL1 and DL1 to share one line size");
+  }
 }
 
 std::string StudySpec::input_selector() const {
@@ -292,6 +301,11 @@ std::map<std::string, std::string> StudySpec::flag_spec() {
       {"seed", "42"},      {"threads", "0"},
       {"grain", "64"},     {"sets", "64"},
       {"ways", "2"},       {"line", "32"},
+      {"placement", "hash"},
+      {"l2-sets", "0"},    {"l2-ways", "8"},
+      {"l2-policy", "random"},
+      {"l2-latency", "10"},
+      {"l2-placement", "hash"},
       {"mem-latency", "100"},
       {"min-runs", "300"}, {"delta", "100"},
       {"window", "5"},     {"tolerance", "0.03"},
@@ -332,10 +346,39 @@ StudySpec StudySpec::from_flags(
   const auto sets = static_cast<std::uint32_t>(parse_u64("sets", get("sets")));
   const auto ways = static_cast<std::uint32_t>(parse_u64("ways", get("ways")));
   const auto line = parse_u64("line", get("line"));
-  spec.config.machine.il1 = CacheConfig{sets, ways, line};
-  spec.config.machine.dl1 = CacheConfig{sets, ways, line};
+  const Placement placement = parse_placement(get("placement"));
+  spec.config.machine.il1 = CacheConfig{sets, ways, line, placement};
+  spec.config.machine.dl1 = CacheConfig{sets, ways, line, placement};
   spec.config.machine.timing.mem_latency =
       parse_u64("mem-latency", get("mem-latency"));
+
+  // --l2-sets 0 (the default) leaves the hierarchy disabled; any other
+  // value places a unified L2 (sharing the L1 line size) behind the L1s.
+  // The remaining l2 flags are parsed unconditionally so malformed values
+  // fail loudly, and non-default values without --l2-sets are rejected
+  // rather than silently running a single-level study.
+  const auto l2_sets =
+      static_cast<std::uint32_t>(parse_u64("l2-sets", get("l2-sets")));
+  const auto l2_ways =
+      static_cast<std::uint32_t>(parse_u64("l2-ways", get("l2-ways")));
+  const Placement l2_placement = parse_placement(get("l2-placement"));
+  const L2Policy l2_policy = parse_l2_policy(get("l2-policy"));
+  const std::uint64_t l2_latency = parse_u64("l2-latency", get("l2-latency"));
+  if (l2_sets > 0) {
+    HierarchyConfig& l2 = spec.config.machine.l2;
+    l2.enabled = true;
+    l2.l2 = CacheConfig{l2_sets, l2_ways, line, l2_placement};
+    l2.policy = l2_policy;
+    l2.latency = l2_latency;
+  } else {
+    const HierarchyConfig dflt;
+    if (l2_ways != dflt.l2.ways || l2_placement != dflt.l2.placement ||
+        l2_policy != dflt.policy || l2_latency != dflt.latency) {
+      throw std::invalid_argument(
+          "--l2-ways/--l2-policy/--l2-latency/--l2-placement have no effect "
+          "without --l2-sets > 0");
+    }
+  }
 
   spec.config.convergence.min_runs =
       static_cast<std::size_t>(parse_u64("min-runs", get("min-runs")));
@@ -390,16 +433,30 @@ json::Value StudySpec::to_json() const {
   {
     const auto cache_json = [](const CacheConfig& c) {
       json::Object t;
-      t.reserve(3);
+      t.reserve(4);
       t.emplace_back("sets", c.sets);
       t.emplace_back("ways", c.ways);
       t.emplace_back("line_bytes", c.line_bytes);
+      t.emplace_back("placement", to_string(c.placement));
       return json::Value(std::move(t));
     };
     json::Object m;
-    m.reserve(3);
+    m.reserve(4);
     m.emplace_back("il1", cache_json(config.machine.il1));
     m.emplace_back("dl1", cache_json(config.machine.dl1));
+    if (config.machine.l2.enabled) {
+      json::Object l2;
+      l2.reserve(6);
+      l2.emplace_back("sets", config.machine.l2.l2.sets);
+      l2.emplace_back("ways", config.machine.l2.l2.ways);
+      l2.emplace_back("line_bytes", config.machine.l2.l2.line_bytes);
+      l2.emplace_back("placement", to_string(config.machine.l2.l2.placement));
+      l2.emplace_back("policy", to_string(config.machine.l2.policy));
+      l2.emplace_back("latency", config.machine.l2.latency);
+      m.emplace_back("l2", json::Value(std::move(l2)));
+    } else {
+      m.emplace_back("l2", json::Value());
+    }
     json::Object timing;
     timing.reserve(3);
     timing.emplace_back("issue_cycles", config.machine.timing.issue_cycles);
@@ -465,6 +522,157 @@ json::Value StudySpec::to_json() const {
   return json::Value(std::move(o));
 }
 
+namespace {
+
+// JSON-to-spec readers: every member is optional and falls back to the
+// in-memory default, which is what makes v1 documents (no hierarchy or
+// placement members) load unchanged.
+double jnum(const json::Value* v, double dflt) {
+  return v && v->is_number() ? v->as_number() : dflt;
+}
+
+std::size_t jsize(const json::Value* v, std::size_t dflt) {
+  return v && v->is_number() ? static_cast<std::size_t>(v->as_number()) : dflt;
+}
+
+std::string jstr(const json::Value* v, const std::string& dflt) {
+  return v && v->is_string() ? v->as_string() : dflt;
+}
+
+bool jbool(const json::Value* v, bool dflt) {
+  return v && v->is_bool() ? v->as_bool() : dflt;
+}
+
+/// 64-bit seeds are serialized as decimal strings (doubles lose precision
+/// past 2^53); accept both forms.
+std::uint64_t jseed(const json::Value* v, std::uint64_t dflt) {
+  if (!v) return dflt;
+  if (v->is_string()) return parse_u64("(seed)", v->as_string());
+  if (v->is_number()) return static_cast<std::uint64_t>(v->as_number());
+  return dflt;
+}
+
+CacheConfig jcache(const json::Value* v, CacheConfig dflt) {
+  if (!v || !v->is_object()) return dflt;
+  dflt.sets = static_cast<std::uint32_t>(jnum(v->find("sets"), dflt.sets));
+  dflt.ways = static_cast<std::uint32_t>(jnum(v->find("ways"), dflt.ways));
+  dflt.line_bytes = static_cast<Addr>(
+      jnum(v->find("line_bytes"), static_cast<double>(dflt.line_bytes)));
+  if (const json::Value* p = v->find("placement")) {
+    dflt.placement = parse_placement(p->as_string());
+  }
+  return dflt;
+}
+
+}  // namespace
+
+StudySpec StudySpec::from_json(const json::Value& doc) {
+  // A whole StudyResult document carries the spec under "spec"; a bare
+  // spec object is used as-is.
+  const json::Value* spec_obj = doc.find("spec");
+  const json::Value& s = spec_obj ? *spec_obj : doc;
+  if (!s.is_object()) {
+    throw std::invalid_argument("study spec JSON must be an object");
+  }
+
+  StudySpec spec;
+  spec.suite = jstr(s.find("suite"), "");
+  if (const json::Value* rp = s.find("randprog_seed");
+      rp && !rp->is_null()) {
+    spec.randprog_seed = jseed(rp, 0);
+  }
+  spec.mode = parse_study_mode(jstr(s.find("mode"), to_string(spec.mode)));
+  spec.set_input_selector(jstr(s.find("input"), "default"));
+
+  if (const json::Value* m = s.find("machine")) {
+    spec.config.machine.il1 = jcache(m->find("il1"), spec.config.machine.il1);
+    spec.config.machine.dl1 = jcache(m->find("dl1"), spec.config.machine.dl1);
+    if (const json::Value* l2 = m->find("l2"); l2 && l2->is_object()) {
+      spec.config.machine.l2.enabled = true;
+      spec.config.machine.l2.l2 = jcache(l2, spec.config.machine.l2.l2);
+      spec.config.machine.l2.policy = parse_l2_policy(
+          jstr(l2->find("policy"), to_string(spec.config.machine.l2.policy)));
+      spec.config.machine.l2.latency = static_cast<std::uint64_t>(jnum(
+          l2->find("latency"),
+          static_cast<double>(spec.config.machine.l2.latency)));
+    }
+    if (const json::Value* t = m->find("timing")) {
+      TimingParams& timing = spec.config.machine.timing;
+      timing.issue_cycles = static_cast<std::uint64_t>(
+          jnum(t->find("issue_cycles"),
+               static_cast<double>(timing.issue_cycles)));
+      timing.dl1_hit_cycles = static_cast<std::uint64_t>(
+          jnum(t->find("dl1_hit_cycles"),
+               static_cast<double>(timing.dl1_hit_cycles)));
+      timing.mem_latency = static_cast<std::uint64_t>(
+          jnum(t->find("mem_latency"),
+               static_cast<double>(timing.mem_latency)));
+    }
+  }
+  if (const json::Value* c = s.find("campaign")) {
+    spec.config.campaign.master_seed =
+        jseed(c->find("master_seed"), spec.config.campaign.master_seed);
+    spec.config.campaign.threads = static_cast<unsigned>(
+        jnum(c->find("threads"), spec.config.campaign.threads));
+    spec.config.campaign.grain =
+        jsize(c->find("grain"), spec.config.campaign.grain);
+  }
+  if (const json::Value* c = s.find("convergence")) {
+    mbpta::ConvergenceConfig& conv = spec.config.convergence;
+    conv.min_runs = jsize(c->find("min_runs"), conv.min_runs);
+    conv.delta = jsize(c->find("delta"), conv.delta);
+    conv.window = jsize(c->find("window"), conv.window);
+    conv.tolerance = jnum(c->find("tolerance"), conv.tolerance);
+    conv.max_runs = jsize(c->find("max_runs"), conv.max_runs);
+  }
+  if (const json::Value* e = s.find("evt")) {
+    mbpta::EvtConfig& evt = spec.config.convergence.evt;
+    evt.initial_tail_fraction =
+        jnum(e->find("initial_tail_fraction"), evt.initial_tail_fraction);
+    evt.min_tail_fraction =
+        jnum(e->find("min_tail_fraction"), evt.min_tail_fraction);
+    evt.min_exceedances = jsize(e->find("min_exceedances"),
+                                evt.min_exceedances);
+    evt.cv_band_sigmas = jnum(e->find("cv_band_sigmas"), evt.cv_band_sigmas);
+  }
+  if (const json::Value* t = s.find("tac")) {
+    tac::TacConfig& tc = spec.config.tac;
+    tc.target_miss_prob = jnum(t->find("target_miss_prob"),
+                               tc.target_miss_prob);
+    tc.impact_rel_threshold =
+        jnum(t->find("impact_rel_threshold"), tc.impact_rel_threshold);
+    tc.min_extra_misses = jnum(t->find("min_extra_misses"),
+                               tc.min_extra_misses);
+    tc.ignore_event_prob = jnum(t->find("ignore_event_prob"),
+                                tc.ignore_event_prob);
+    tc.larger_group_margin =
+        jnum(t->find("larger_group_margin"), tc.larger_group_margin);
+    tc.max_runs_cap = jsize(t->find("max_runs_cap"), tc.max_runs_cap);
+  }
+  if (const json::Value* p = s.find("pub")) {
+    const std::string merge = jstr(p->find("merge"), "scs");
+    if (merge == "scs") {
+      spec.config.pub.merge = pub::BranchMerge::kScsInterleave;
+    } else if (merge == "append") {
+      spec.config.pub.merge = pub::BranchMerge::kAppendGhost;
+    } else {
+      throw std::invalid_argument("pub.merge: expected scs|append, got '" +
+                                  merge + "'");
+    }
+    spec.config.pub.pad_loops = jbool(p->find("pad_loops"),
+                                      spec.config.pub.pad_loops);
+  }
+  spec.config.pwcet_probability =
+      jnum(s.find("pwcet_probability"), spec.config.pwcet_probability);
+  spec.config.baseline_probe_runs =
+      jsize(s.find("probe_runs"), spec.config.baseline_probe_runs);
+  spec.measure_runs = jsize(s.find("measure_runs"), spec.measure_runs);
+  spec.measure_pub = jbool(s.find("measure_pub"), spec.measure_pub);
+  spec.curve_max_exp = static_cast<int>(
+      jnum(s.find("curve_max_exp"), spec.curve_max_exp));
+  return spec;
+}
+
 double StudyResult::pwcet_at(double p) const {
   return combined_pwcet_at(paths, p);
 }
@@ -477,7 +685,7 @@ json::Value StudyResult::to_json() const {
   const double probability = spec.config.pwcet_probability;
   json::Object doc;
   doc.reserve(7);
-  doc.emplace_back("schema", "mbcr-study-v1");
+  doc.emplace_back("schema", "mbcr-study-v2");
   doc.emplace_back("spec", spec.to_json());
   doc.emplace_back("program", program_name);
   {

@@ -81,6 +81,15 @@ struct StudySpec {
   static StudySpec from_flags(const std::map<std::string, std::string>& flags);
 
   json::Value to_json() const;
+
+  /// Rebuilds a spec from its JSON form (`to_json`), completing the
+  /// serializable-work-unit round trip. Accepts either a bare spec object
+  /// or a whole saved StudyResult document (the `spec` member is used).
+  /// Members absent from the document keep their defaults, so v1 documents
+  /// (schema `mbcr-study-v1`, no hierarchy/placement fields) load as
+  /// L2-disabled hash-placement specs — exactly what they meant.
+  /// Throws std::invalid_argument/std::runtime_error on malformed input.
+  static StudySpec from_json(const json::Value& doc);
 };
 
 /// Raw execution times of one measured input (mode kMeasure).

@@ -10,5 +10,13 @@ template std::uint64_t execute_trace<RandomCache, RandomCache>(
 template std::uint64_t execute_trace<LruCache, LruCache>(const MemTrace&,
                                                          LruCache&, LruCache&,
                                                          const TimingParams&);
+template std::uint64_t execute_trace_hierarchy<RandomCache, RandomCache,
+                                               RandomCache>(
+    const MemTrace&, RandomCache&, RandomCache&, RandomCache&,
+    const TimingParams&, std::uint64_t);
+template std::uint64_t execute_trace_hierarchy<RandomCache, RandomCache,
+                                               LruCache>(
+    const MemTrace&, RandomCache&, RandomCache&, LruCache&,
+    const TimingParams&, std::uint64_t);
 
 }  // namespace mbcr

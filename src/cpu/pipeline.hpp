@@ -43,4 +43,26 @@ std::uint64_t execute_trace(const MemTrace& trace, ICache& il1, DCache& dl1,
   return cycles;
 }
 
+/// Two-level variant: split L1s backed by a shared unified L2. An L1 miss
+/// pays `l2_latency` to probe the L2; an L2 miss additionally pays the
+/// memory latency. The generic-cache oracle for Machine's fast two-level
+/// replay.
+template <typename ICache, typename DCache, typename L2Cache>
+std::uint64_t execute_trace_hierarchy(const MemTrace& trace, ICache& il1,
+                                      DCache& dl1, L2Cache& l2,
+                                      const TimingParams& timing,
+                                      std::uint64_t l2_latency) {
+  std::uint64_t cycles = 0;
+  for (const Access& a : trace.accesses) {
+    const bool l1_hit =
+        a.is_instruction() ? il1.access(a.addr) : dl1.access(a.addr);
+    cycles += timing.cost(a.kind, true);  // issue / L1-hit base cost
+    if (!l1_hit) {
+      cycles += l2_latency;
+      if (!l2.access(a.addr)) cycles += timing.mem_latency;
+    }
+  }
+  return cycles;
+}
+
 }  // namespace mbcr

@@ -47,6 +47,19 @@ CompactTrace CompactTrace::from(const MemTrace& trace, Addr line_bytes) {
       out.entries.push_back({it->second, 0});
     }
   }
+  std::unordered_map<Addr, std::uint32_t> umap;
+  const auto unify = [&](const std::vector<Addr>& lines,
+                         std::vector<std::uint32_t>& uid) {
+    uid.reserve(lines.size());
+    for (const Addr line : lines) {
+      auto [it, inserted] =
+          umap.try_emplace(line, static_cast<std::uint32_t>(out.ulines.size()));
+      if (inserted) out.ulines.push_back(line);
+      uid.push_back(it->second);
+    }
+  };
+  unify(out.ilines, out.iline_uid);
+  unify(out.dlines, out.dline_uid);
   return out;
 }
 

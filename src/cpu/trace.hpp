@@ -41,6 +41,13 @@ struct CompactTrace {
   std::vector<Addr> ilines;  ///< line number per IL1 dense id
   std::vector<Addr> dlines;  ///< line number per DL1 dense id
 
+  /// Unified id space for a shared L2: the union of ilines and dlines,
+  /// deduplicated by line number (a line both fetched and loaded gets ONE
+  /// unified id, exactly as a real unified cache would see it).
+  std::vector<Addr> ulines;              ///< line number per unified id
+  std::vector<std::uint32_t> iline_uid;  ///< unified id per IL1 dense id
+  std::vector<std::uint32_t> dline_uid;  ///< unified id per DL1 dense id
+
   static CompactTrace from(const MemTrace& trace,
                            Addr line_bytes = kDefaultLineBytes);
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "cache/lru_cache.hpp"
 #include "cache/random_cache.hpp"
 #include "util/rng.hpp"
 
@@ -15,6 +16,8 @@ constexpr std::uint64_t kIl1Placement = 1;
 constexpr std::uint64_t kDl1Placement = 2;
 constexpr std::uint64_t kIl1Replacement = 3;
 constexpr std::uint64_t kDl1Replacement = 4;
+constexpr std::uint64_t kL2Placement = 5;
+constexpr std::uint64_t kL2Replacement = 6;
 
 constexpr std::uint32_t kEmpty = 0xffffffffu;
 
@@ -31,8 +34,8 @@ public:
     tags_.assign(static_cast<std::size_t>(cfg.sets) * cfg.ways, kEmpty);
     set_of_.resize(lines.size());
     for (std::size_t l = 0; l < lines.size(); ++l) {
-      set_of_[l] = static_cast<std::uint32_t>(mix64(lines[l], placement_seed) %
-                                              cfg.sets);
+      set_of_[l] = placement_set(cfg.placement, lines[l], placement_seed,
+                                 cfg.sets);
     }
   }
 
@@ -53,11 +56,97 @@ private:
   std::vector<std::uint32_t>& set_of_;
 };
 
+/// The unified L2 under deterministic LRU: dense unified ids, per-set tags
+/// kept MRU-first (mirrors LruCache exactly), modulo placement on the real
+/// line numbers.
+class FastLruL2 {
+public:
+  FastLruL2(const CacheConfig& cfg, const std::vector<Addr>& lines,
+            std::vector<std::uint32_t>& tags, std::vector<std::uint32_t>& set_of)
+      : ways_(cfg.ways), tags_(tags), set_of_(set_of) {
+    tags_.assign(static_cast<std::size_t>(cfg.sets) * cfg.ways, kEmpty);
+    set_of_.resize(lines.size());
+    for (std::size_t l = 0; l < lines.size(); ++l) {
+      set_of_[l] = static_cast<std::uint32_t>(lines[l] % cfg.sets);
+    }
+  }
+
+  bool access(std::uint32_t line_id) {
+    std::uint32_t* base = tags_.data() +
+                          static_cast<std::size_t>(set_of_[line_id]) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (base[w] == line_id) {
+        for (std::uint32_t i = w; i > 0; --i) base[i] = base[i - 1];
+        base[0] = line_id;
+        return true;
+      }
+    }
+    for (std::uint32_t i = ways_ - 1; i > 0; --i) base[i] = base[i - 1];
+    base[0] = line_id;
+    return false;
+  }
+
+private:
+  std::uint32_t ways_;
+  std::vector<std::uint32_t>& tags_;
+  std::vector<std::uint32_t>& set_of_;
+};
+
+/// Single-level replay: an L1 miss pays the memory latency directly.
+/// Kept in its own function (like the two-level loops) so each replay
+/// flavor gets its own tight codegen.
+std::uint64_t replay_single_level(const CompactTrace& trace, FastSide& il1,
+                                  FastSide& dl1, const TimingParams& t) {
+  std::uint64_t cycles = 0;
+  for (const CompactTrace::Entry& e : trace.entries) {
+    if (e.is_instr) {
+      cycles += t.issue_cycles;
+      if (!il1.access(e.line_id)) cycles += t.mem_latency;
+    } else {
+      cycles += t.dl1_hit_cycles;
+      if (!dl1.access(e.line_id)) cycles += t.mem_latency;
+    }
+  }
+  return cycles;
+}
+
+/// Two-level replay: L1 miss -> probe L2 (`l2_latency` cycles), L2 miss ->
+/// memory latency on top. Templated on the L2 model so the per-access loop
+/// stays branch-free on policy.
+template <typename L2Model>
+std::uint64_t replay_hierarchy(const CompactTrace& trace, FastSide& il1,
+                               FastSide& dl1, L2Model& l2,
+                               const TimingParams& t,
+                               std::uint64_t l2_latency) {
+  std::uint64_t cycles = 0;
+  for (const CompactTrace::Entry& e : trace.entries) {
+    if (e.is_instr) {
+      cycles += t.issue_cycles;
+      if (!il1.access(e.line_id)) {
+        cycles += l2_latency;
+        if (!l2.access(trace.iline_uid[e.line_id])) cycles += t.mem_latency;
+      }
+    } else {
+      cycles += t.dl1_hit_cycles;
+      if (!dl1.access(e.line_id)) {
+        cycles += l2_latency;
+        if (!l2.access(trace.dline_uid[e.line_id])) cycles += t.mem_latency;
+      }
+    }
+  }
+  return cycles;
+}
+
 }  // namespace
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
   config_.il1.validate();
   config_.dl1.validate();
+  config_.l2.validate(config_.il1.line_bytes);
+  if (config_.l2.enabled && config_.dl1.line_bytes != config_.il1.line_bytes) {
+    throw std::invalid_argument(
+        "a unified L2 requires IL1 and DL1 to share one line size");
+  }
 }
 
 std::uint64_t Machine::run_once(const CompactTrace& trace,
@@ -74,17 +163,16 @@ std::uint64_t Machine::run_once(const CompactTrace& trace,
   FastSide dl1(config_.dl1, trace.dlines, mix64(kDl1Placement, run_seed),
                mix64(kDl1Replacement, run_seed), ws.dl1_tags, ws.dl1_set_of);
   const TimingParams& t = config_.timing;
-  std::uint64_t cycles = 0;
-  for (const CompactTrace::Entry& e : trace.entries) {
-    if (e.is_instr) {
-      cycles += t.issue_cycles;
-      if (!il1.access(e.line_id)) cycles += t.mem_latency;
-    } else {
-      cycles += t.dl1_hit_cycles;
-      if (!dl1.access(e.line_id)) cycles += t.mem_latency;
+  if (config_.l2.enabled) {
+    if (config_.l2.policy == L2Policy::kRandom) {
+      FastSide l2(config_.l2.l2, trace.ulines, mix64(kL2Placement, run_seed),
+                  mix64(kL2Replacement, run_seed), ws.l2_tags, ws.l2_set_of);
+      return replay_hierarchy(trace, il1, dl1, l2, t, config_.l2.latency);
     }
+    FastLruL2 l2(config_.l2.l2, trace.ulines, ws.l2_tags, ws.l2_set_of);
+    return replay_hierarchy(trace, il1, dl1, l2, t, config_.l2.latency);
   }
-  return cycles;
+  return replay_single_level(trace, il1, dl1, t);
 }
 
 std::uint64_t Machine::run_once_reference(const MemTrace& trace,
@@ -93,6 +181,17 @@ std::uint64_t Machine::run_once_reference(const MemTrace& trace,
                   mix64(kIl1Replacement, run_seed));
   RandomCache dl1(config_.dl1, mix64(kDl1Placement, run_seed),
                   mix64(kDl1Replacement, run_seed));
+  if (config_.l2.enabled) {
+    if (config_.l2.policy == L2Policy::kRandom) {
+      RandomCache l2(config_.l2.l2, mix64(kL2Placement, run_seed),
+                     mix64(kL2Replacement, run_seed));
+      return execute_trace_hierarchy(trace, il1, dl1, l2, config_.timing,
+                                     config_.l2.latency);
+    }
+    LruCache l2(config_.l2.l2);
+    return execute_trace_hierarchy(trace, il1, dl1, l2, config_.timing,
+                                   config_.l2.latency);
+  }
   return execute_trace(trace, il1, dl1, config_.timing);
 }
 

@@ -1,37 +1,46 @@
 // The modeled execution platform (paper Sec. 4): pipelined in-order core,
 // separate 4KB 2-way 32B/line IL1 and DL1 with random placement and random
-// replacement, caches flushed before each run.
+// replacement, caches flushed before each run — optionally backed by a
+// shared unified L2 (random or deterministic LRU, cache/hierarchy.hpp).
 //
 // `Machine::run_once` is the hot path of every measurement campaign: it
 // replays a compact trace under a fresh per-run placement (derived from
 // the run seed) and returns the cycle count. The placement hash is
-// evaluated once per unique line per run; accesses then replay through
-// flat tag arrays.
+// evaluated once per unique line per run — per level: the L2's placement
+// is hashed once per unique *unified* line; accesses then replay through
+// flat tag arrays, and an L1 miss probes the L2 by dense unified id.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "cache/cache_config.hpp"
+#include "cache/hierarchy.hpp"
 #include "cpu/pipeline.hpp"
 #include "cpu/trace.hpp"
 
 namespace mbcr::platform {
 
 /// Reusable per-thread scratch for `Machine::run_once`: tag arrays and
-/// per-line set maps for both cache sides. A campaign worker allocates one
-/// workspace and replays hundreds of thousands of runs through it, instead
-/// of paying four vector allocations per run. Contents are fully
-/// re-initialized by every run, so reuse never leaks state between runs
-/// (or between machines/traces of different geometry — buffers just grow).
+/// per-line set maps for both L1 sides plus the unified L2. A campaign
+/// worker allocates one workspace and replays hundreds of thousands of
+/// runs through it, instead of paying vector allocations per run.
+/// Contents are fully re-initialized by every run, so reuse never leaks
+/// state between runs (or between machines/traces of different geometry —
+/// buffers just grow). The L2 buffers stay empty while the hierarchy is
+/// disabled.
 struct RunWorkspace {
   std::vector<std::uint32_t> il1_tags, il1_set_of;
   std::vector<std::uint32_t> dl1_tags, dl1_set_of;
+  std::vector<std::uint32_t> l2_tags, l2_set_of;
 };
 
 struct MachineConfig {
   CacheConfig il1 = CacheConfig::paper_l1();
   CacheConfig dl1 = CacheConfig::paper_l1();
+  /// Optional shared L2 behind both L1 sides (disabled by default, which
+  /// reproduces the paper's single-level platform bit for bit).
+  HierarchyConfig l2;
   TimingParams timing;
 };
 
@@ -49,8 +58,9 @@ public:
   std::uint64_t run_once(const CompactTrace& trace, std::uint64_t run_seed,
                          RunWorkspace& ws) const;
 
-  /// Reference implementation via the generic RandomCache (slow but
-  /// obviously correct); used by tests to validate the fast replay.
+  /// Reference implementation via the generic RandomCache/LruCache models
+  /// (slow but obviously correct); used by tests to validate the fast
+  /// replay, including every two-level configuration.
   std::uint64_t run_once_reference(const MemTrace& trace,
                                    std::uint64_t run_seed) const;
 

@@ -7,6 +7,16 @@
 
 namespace mbcr::tac {
 
+bool modulo_group_co_mappable(std::span<const Addr> lines,
+                              std::uint32_t sets) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      if (lines[i] / sets == lines[j] / sets) return false;
+    }
+  }
+  return true;
+}
+
 double binomial(std::size_t n, std::size_t k) {
   if (k > n) return 0.0;
   k = std::min(k, n - k);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cache/cache_config.hpp"
@@ -54,5 +55,14 @@ std::vector<ConflictGroup> enumerate_conflict_groups_exhaustive(
 
 /// n choose k as a double (combination counts can exceed 2^64).
 double binomial(std::size_t n, std::size_t k);
+
+/// Whether a concrete line group can co-map into one set under
+/// random-modulo placement with `sets` sets. Lines in the same S-line
+/// block keep distinct modulo offsets under every per-run rotation, so a
+/// group containing two of them has co-mapping probability exactly 0;
+/// a block-distinct group co-maps with the same (1/S)^(k-1) as under
+/// hash placement (each block's rotation is independently uniform).
+bool modulo_group_co_mappable(std::span<const Addr> lines,
+                              std::uint32_t sets);
 
 }  // namespace mbcr::tac

@@ -3,8 +3,40 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <unordered_set>
 
 namespace mbcr::tac {
+
+namespace {
+
+/// Sound random-modulo filter at conflict-class granularity. A class may
+/// only be dropped when EVERY concrete combination it stands for must
+/// contain two same-block lines (co-mapping probability exactly 0 for
+/// all of them): either the class is a single concrete group whose lines
+/// clash, or some cluster contributes more lines than it spans distinct
+/// blocks (pigeonhole). A class that merely *might* clash is kept with
+/// its full combination count — that overestimates the event
+/// probability, which inflates required runs: the conservative
+/// direction for MBPTA representativeness.
+bool modulo_class_possibly_co_mappable(const ConflictGroup& g,
+                                       const ReuseProfile& profile,
+                                       std::uint32_t sets) {
+  if (g.combination_count <= 1.0) {
+    return modulo_group_co_mappable(g.representative_lines, sets);
+  }
+  for (std::size_t c = 0; c < g.cluster_multiplicity.size(); ++c) {
+    const std::size_t m = g.cluster_multiplicity[c];
+    if (m < 2) continue;
+    std::unordered_set<Addr> blocks;
+    for (const std::size_t idx : profile.clusters[c].line_indices) {
+      blocks.insert(profile.lines[idx].line / sets);
+    }
+    if (blocks.size() < m) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::size_t runs_for_probability(double p, double target) {
   if (p <= 0.0 || target <= 0.0 || target >= 1.0) return 0;
@@ -48,18 +80,31 @@ TacSequenceResult analyze_sequence(std::span<const Addr> line_seq,
   // exceeds what the W+1 class already exposes — a 4-line co-mapping whose
   // cost matches the 3-line knee is observed through the (far likelier)
   // 3-line layouts.
+  //
+  // The pruning yardstick must only consider W+1 classes that can
+  // actually occur: under random-modulo placement an infeasible
+  // (probability-zero) class must not mask feasible larger groups.
   const std::size_t minimal_k = cache.ways + 1;
   double minimal_class_max_extra = 0.0;
   for (const ConflictGroup& g : groups) {
-    if (g.group_size == minimal_k) {
-      minimal_class_max_extra =
-          std::max(minimal_class_max_extra, g.extra_misses);
+    if (g.group_size != minimal_k) continue;
+    if (cache.placement == Placement::kModulo &&
+        !modulo_class_possibly_co_mappable(g, profile, cache.sets)) {
+      continue;
     }
+    minimal_class_max_extra =
+        std::max(minimal_class_max_extra, g.extra_misses);
   }
   for (const ConflictGroup& g : groups) {
     const double extra_cycles = g.extra_misses * miss_penalty_cycles;
     if (g.extra_misses < config.min_extra_misses) continue;
     if (extra_cycles < impact_floor_cycles) continue;
+    // Random-modulo placement: classes whose every combination contains
+    // two same-block lines can never co-map and are not events at all.
+    if (cache.placement == Placement::kModulo &&
+        !modulo_class_possibly_co_mappable(g, profile, cache.sets)) {
+      continue;
+    }
     if (g.group_size > minimal_k &&
         g.extra_misses <= config.larger_group_margin *
                               minimal_class_max_extra) {
@@ -107,18 +152,72 @@ TacSequenceResult analyze_sequence(std::span<const Addr> line_seq,
   return out;
 }
 
+namespace {
+
+/// Unified cache-line sequence: every access (both sides) in program
+/// order — the stream a shared L2 is exposed to, before L1 filtering.
+std::vector<Addr> unified_line_sequence(const MemTrace& trace,
+                                        Addr line_bytes) {
+  std::vector<Addr> out;
+  out.reserve(trace.accesses.size());
+  for (const Access& a : trace.accesses) {
+    out.push_back(line_of(a.addr, line_bytes));
+  }
+  return out;
+}
+
+/// True iff a deterministic LRU L2 provably retains every line of `useq`
+/// once loaded: under modulo placement each set's unified working set
+/// fits its ways, so no line is ever evicted and every L1 re-fetch is an
+/// L2 hit.
+bool lru_l2_covers(const std::vector<Addr>& useq, const CacheConfig& l2) {
+  std::vector<std::vector<Addr>> per_set(l2.sets);
+  for (const Addr line : useq) {
+    std::vector<Addr>& set = per_set[line % l2.sets];
+    if (std::find(set.begin(), set.end(), line) == set.end()) {
+      set.push_back(line);
+      if (set.size() > l2.ways) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 TacTraceResult analyze_trace(const MemTrace& trace, const CacheConfig& il1,
                              const CacheConfig& dl1, double baseline_cycles,
                              double miss_penalty_cycles,
-                             const TacConfig& config) {
+                             const TacConfig& config,
+                             const HierarchyConfig& l2) {
   TacTraceResult out;
   const std::vector<Addr> iseq = trace.line_sequence(true, il1.line_bytes);
   const std::vector<Addr> dseq = trace.line_sequence(false, dl1.line_bytes);
-  out.il1 = analyze_sequence(iseq, il1, baseline_cycles, miss_penalty_cycles,
-                             config);
-  out.dl1 = analyze_sequence(dseq, dl1, baseline_cycles, miss_penalty_cycles,
-                             config);
+
+  // What one extra L1 miss costs. Single level: the memory latency. Two
+  // levels: the L2 probe plus — unless a deterministic LRU L2 provably
+  // retains the whole working set — the residual memory latency (a random
+  // L2 can always have evicted the victim; an over-committed LRU set can
+  // too).
+  double l1_penalty = miss_penalty_cycles;
+  std::vector<Addr> useq;
+  if (l2.enabled) {
+    useq = unified_line_sequence(trace, l2.l2.line_bytes);
+    const bool covered =
+        l2.policy == L2Policy::kLru && lru_l2_covers(useq, l2.l2);
+    l1_penalty = static_cast<double>(l2.latency) +
+                 (covered ? 0.0 : miss_penalty_cycles);
+  }
+  out.il1 = analyze_sequence(iseq, il1, baseline_cycles, l1_penalty, config);
+  out.dl1 = analyze_sequence(dseq, dl1, baseline_cycles, l1_penalty, config);
   out.required_runs = std::max(out.il1.required_runs, out.dl1.required_runs);
+
+  // Random L2: its own conflict layouts are a second probabilistic event
+  // source; an extra L2 miss always pays the full memory latency.
+  if (l2.enabled && l2.policy == L2Policy::kRandom) {
+    out.l2 = analyze_sequence(useq, l2.l2, baseline_cycles,
+                              miss_penalty_cycles, config);
+    out.required_runs = std::max(out.required_runs, out.l2.required_runs);
+  }
   return out;
 }
 

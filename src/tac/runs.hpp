@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cache/cache_config.hpp"
+#include "cache/hierarchy.hpp"
 #include "cpu/trace.hpp"
 #include "tac/conflict.hpp"
 
@@ -78,14 +79,40 @@ TacSequenceResult analyze_sequence(std::span<const Addr> line_seq,
 struct TacTraceResult {
   TacSequenceResult il1;
   TacSequenceResult dl1;
-  std::size_t required_runs = 0;  ///< max of both sides
+  /// Unified-L2 conflict analysis. Populated only for an enabled
+  /// random-policy L2 (a deterministic LRU L2 adds no placement
+  /// randomness, hence no probabilistic events to cover); its
+  /// `required_runs` stays 0 otherwise.
+  TacSequenceResult l2;
+  std::size_t required_runs = 0;  ///< max over all analyzed levels
 };
 
 /// Full-trace TAC: analyzes instruction and data sides against their
 /// respective caches and takes the max.
+///
+/// With an enabled hierarchy the model extends to two levels:
+///  * The per-miss penalty charged to L1 conflict events becomes
+///    `l2.latency + mem_latency` for a random L2 (an extra L1 miss probes
+///    the L2 and may miss there too — the conservative bound), and
+///    `l2.latency` for a deterministic LRU L2 that provably retains every
+///    line of the trace (per-set unified working set <= ways, checked on
+///    the deterministic modulo mapping; otherwise the conservative bound
+///    again).
+///  * For a random L2, the unified line sequence (both sides, program
+///    order) is additionally analyzed against the L2 geometry with the
+///    full memory latency per extra miss. Using the unfiltered sequence
+///    overestimates the traffic the L2 actually sees (L1 hits never reach
+///    it), which only inflates impacts — conservative in the direction
+///    MBPTA representativeness needs.
+/// Placement flavor is honored per level: under random-modulo placement
+/// (CacheConfig::placement), conflict classes that provably cannot
+/// co-map — every combination they stand for contains two same-block
+/// lines — are dropped from the event set; a class that merely might
+/// clash keeps its full combination count (conservative).
 TacTraceResult analyze_trace(const MemTrace& trace, const CacheConfig& il1,
                              const CacheConfig& dl1, double baseline_cycles,
                              double miss_penalty_cycles,
-                             const TacConfig& config = {});
+                             const TacConfig& config = {},
+                             const HierarchyConfig& l2 = {});
 
 }  // namespace mbcr::tac

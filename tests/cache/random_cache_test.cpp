@@ -36,6 +36,35 @@ TEST(RandomCache, PlacementIsStableWithinARun) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(cache.set_of_line(line), set);
 }
 
+TEST(RandomCache, ModuloPlacementKeepsBlocksConflictFree) {
+  // Random-modulo: lines inside one S-line block land in S distinct sets
+  // under every seed; the block's rotation varies across seeds.
+  CacheConfig cfg = small_cache();
+  cfg.placement = Placement::kModulo;
+  std::set<std::uint32_t> rotations;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    RandomCache cache(cfg, seed, 2);
+    std::set<std::uint32_t> sets;
+    for (Addr line = 16; line < 16 + cfg.sets; ++line) {  // one full block
+      sets.insert(cache.set_of_line(line));
+    }
+    EXPECT_EQ(sets.size(), cfg.sets) << "seed " << seed;
+    rotations.insert(cache.set_of_line(16));
+  }
+  EXPECT_GT(rotations.size(), 1u);
+}
+
+TEST(RandomCache, ModuloPlacementPreservesOffsetsWithinABlock) {
+  CacheConfig cfg = small_cache();
+  cfg.placement = Placement::kModulo;
+  RandomCache cache(cfg, 99, 2);
+  // Consecutive lines of a block stay consecutive modulo S.
+  const std::uint32_t base = cache.set_of_line(0);
+  for (Addr line = 1; line < cfg.sets; ++line) {
+    EXPECT_EQ(cache.set_of_line(line), (base + line) % cfg.sets);
+  }
+}
+
 TEST(RandomCache, PlacementVariesAcrossSeeds) {
   const Addr line = 42;
   std::set<std::uint32_t> sets;

@@ -114,6 +114,125 @@ TEST(StudySpec, FromFlagsRejectsBadValues) {
   EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
 }
 
+TEST(StudySpec, FromFlagsParsesHierarchyAndPlacement) {
+  auto flags = StudySpec::flag_spec();
+  flags["suite"] = "bs";
+  flags["placement"] = "modulo";
+  flags["l2-sets"] = "128";
+  flags["l2-ways"] = "4";
+  flags["l2-policy"] = "lru";
+  flags["l2-latency"] = "7";
+  const StudySpec spec = StudySpec::from_flags(flags);
+  EXPECT_EQ(spec.config.machine.il1.placement, Placement::kModulo);
+  EXPECT_EQ(spec.config.machine.dl1.placement, Placement::kModulo);
+  ASSERT_TRUE(spec.config.machine.l2.enabled);
+  EXPECT_EQ(spec.config.machine.l2.l2.sets, 128u);
+  EXPECT_EQ(spec.config.machine.l2.l2.ways, 4u);
+  EXPECT_EQ(spec.config.machine.l2.l2.line_bytes,
+            spec.config.machine.il1.line_bytes);
+  EXPECT_EQ(spec.config.machine.l2.policy, L2Policy::kLru);
+  EXPECT_EQ(spec.config.machine.l2.latency, 7u);
+  EXPECT_NO_THROW(spec.validate());
+
+  // Default l2-sets 0 leaves the hierarchy disabled.
+  const StudySpec dflt = StudySpec::from_flags(StudySpec::flag_spec());
+  EXPECT_FALSE(dflt.config.machine.l2.enabled);
+  EXPECT_EQ(dflt.config.machine.il1.placement, Placement::kHash);
+
+  flags["l2-policy"] = "fifo";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags["l2-policy"] = "lru";
+  flags["placement"] = "xor";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+
+  // L2 flags without --l2-sets must fail loudly, not silently run a
+  // single-level study; malformed values fail even with l2-sets 0.
+  flags = StudySpec::flag_spec();
+  flags["suite"] = "bs";
+  flags["l2-policy"] = "lru";  // l2-sets left at 0
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["suite"] = "bs";
+  flags["l2-latency"] = "99";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["suite"] = "bs";
+  flags["l2-policy"] = "fifo";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+}
+
+TEST(StudySpec, ValidateRejectsBadHierarchy) {
+  StudySpec spec;
+  spec.suite = "bs";
+  spec.config.machine.l2.enabled = true;
+  spec.config.machine.l2.l2 = CacheConfig{0, 8, 32};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.config.machine.l2.l2 = CacheConfig{256, 8, 64};  // line mismatch
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.config.machine.l2.l2 = CacheConfig{256, 8, 32};
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(StudySpec, JsonRoundTripsExactly) {
+  auto flags = StudySpec::flag_spec();
+  flags["suite"] = "crc";
+  flags["mode"] = "multipath";
+  flags["seed"] = "18446744073709551615";  // 64-bit seed, full precision
+  flags["placement"] = "modulo";
+  flags["l2-sets"] = "512";
+  flags["l2-policy"] = "random";
+  flags["l2-placement"] = "modulo";
+  flags["l2-latency"] = "12";
+  flags["tolerance"] = "0.07";
+  flags["pub-merge"] = "append";
+  const StudySpec spec = StudySpec::from_flags(flags);
+
+  const json::Value doc = spec.to_json();
+  const StudySpec back = StudySpec::from_json(doc);
+  EXPECT_EQ(back.to_json().dump(2), doc.dump(2));
+  EXPECT_EQ(back.config.campaign.master_seed, 18446744073709551615ull);
+  EXPECT_EQ(back.config.machine.l2.l2.sets, 512u);
+  EXPECT_EQ(back.config.machine.l2.l2.placement, Placement::kModulo);
+  EXPECT_EQ(back.config.machine.il1.placement, Placement::kModulo);
+  EXPECT_EQ(back.config.pub.merge, pub::BranchMerge::kAppendGhost);
+}
+
+TEST(StudySpec, FromJsonReadsV1DocumentsWithDefaults) {
+  // A v1-era spec: no machine.l2, no placement members. It must load as
+  // the single-level hash-placement platform it described.
+  const json::Value doc = json::parse(R"({
+    "suite": "bs", "mode": "pub", "input": "all",
+    "machine": {"il1": {"sets": 8, "ways": 4, "line_bytes": 32},
+                "dl1": {"sets": 64, "ways": 2, "line_bytes": 32},
+                "timing": {"mem_latency": 50}},
+    "campaign": {"master_seed": "7"}
+  })");
+  const StudySpec spec = StudySpec::from_json(doc);
+  EXPECT_EQ(spec.suite, "bs");
+  EXPECT_EQ(spec.mode, StudyMode::kPub);
+  EXPECT_EQ(spec.inputs, InputSelection::kAllPaths);
+  EXPECT_EQ(spec.config.machine.il1.sets, 8u);
+  EXPECT_EQ(spec.config.machine.il1.placement, Placement::kHash);
+  EXPECT_FALSE(spec.config.machine.l2.enabled);
+  EXPECT_EQ(spec.config.machine.timing.mem_latency, 50u);
+  EXPECT_EQ(spec.config.campaign.master_seed, 7u);
+  // Unmentioned knobs keep their defaults.
+  const StudySpec dflt;
+  EXPECT_EQ(spec.config.convergence.max_runs,
+            dflt.config.convergence.max_runs);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(StudySpec, FromJsonAcceptsWholeResultDocuments) {
+  StudySpec spec = fast_spec("bs", StudyMode::kMeasure);
+  spec.measure_runs = 5;
+  const StudyResult result = run_study(spec);
+  std::ostringstream ss;
+  result.write_json(ss);
+  const StudySpec back = StudySpec::from_json(json::parse(ss.str()));
+  EXPECT_EQ(back.to_json().dump(2), result.spec.to_json().dump(2));
+}
+
 TEST(StudySpec, InputSelectorRoundTrips) {
   StudySpec spec;
   spec.set_input_selector("default");
@@ -282,7 +401,7 @@ TEST(StudyResult, JsonRoundTrips) {
   result.write_json(ss);
   const json::Value doc = json::parse(ss.str());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v1");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v2");
   EXPECT_EQ(doc.at("program").as_string(), "bs.pub");
   EXPECT_EQ(doc.at("spec").at("mode").as_string(), "pub_tac");
   EXPECT_EQ(doc.at("spec").at("suite").as_string(), "bs");

@@ -76,6 +76,100 @@ TEST(EngineEquivalence, FastReplayMatchesReferenceWithWideLines) {
   }
 }
 
+TEST(EngineEquivalence, TwoLevelReplayMatchesReferenceAcrossConfigs) {
+  // The fast two-level replay must agree with the generic-cache oracle
+  // bit for bit: both policies, several L2 geometries (including an L2
+  // *smaller* than the L1s), several seeds.
+  const TestWorkload w = test_workload("janne");
+  const CacheConfig l2_geometries[] = {
+      CacheConfig{256, 8, 32},  // 64KB, the default
+      CacheConfig{64, 4, 32},   // 8KB
+      CacheConfig{16, 2, 32},   // 1KB: smaller than the L1s
+      CacheConfig{1, 8, 32},    // single-set
+  };
+  for (const L2Policy policy : {L2Policy::kRandom, L2Policy::kLru}) {
+    for (const CacheConfig& geo : l2_geometries) {
+      MachineConfig cfg;
+      cfg.l2.enabled = true;
+      cfg.l2.l2 = geo;
+      cfg.l2.policy = policy;
+      const Machine machine(cfg);
+      for (std::uint64_t seed : {0ull, 7ull, 123456789ull}) {
+        EXPECT_EQ(machine.run_once(w.trace, seed),
+                  machine.run_once_reference(w.mem, seed))
+            << to_string(policy) << " L2 " << geo.sets << "x" << geo.ways
+            << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, ModuloPlacementReplayMatchesReference) {
+  // Random-modulo placement on every level, mixed with hash placement.
+  const TestWorkload w = test_workload();
+  for (const Placement l1_placement : {Placement::kHash, Placement::kModulo}) {
+    MachineConfig cfg;
+    cfg.il1.placement = l1_placement;
+    cfg.dl1.placement = Placement::kModulo;
+    cfg.l2.enabled = true;
+    cfg.l2.l2.placement = Placement::kModulo;
+    const Machine machine(cfg);
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+      EXPECT_EQ(machine.run_once(w.trace, seed),
+                machine.run_once_reference(w.mem, seed))
+          << "l1 placement " << to_string(l1_placement) << " seed " << seed;
+    }
+  }
+}
+
+TEST(EngineEquivalence, DisabledL2IsBitIdenticalToSingleLevelMachine) {
+  // A configured-but-disabled hierarchy must not perturb a single sample.
+  const TestWorkload w = test_workload();
+  MachineConfig cfg;
+  cfg.l2.enabled = false;
+  cfg.l2.l2 = CacheConfig{16, 2, 32};  // would change results if consulted
+  cfg.l2.latency = 999;
+  const Machine configured(cfg);
+  const Machine plain;
+  EXPECT_EQ(run_campaign(configured, w.trace, 500),
+            run_campaign(plain, w.trace, 500));
+}
+
+TEST(EngineEquivalence, TwoLevelWorkspaceReuseAndStreamingAndThreads) {
+  // The campaign-engine contract extends to two-level machines: workspace
+  // reuse is bit-identical, streamed == one-shot, thread count and grain
+  // don't matter.
+  const TestWorkload w = test_workload();
+  MachineConfig cfg;
+  cfg.l2 = HierarchyConfig::shared_l2_random();
+  const Machine machine(cfg);
+  RunWorkspace ws;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    EXPECT_EQ(machine.run_once(w.trace, seed, ws),
+              machine.run_once(w.trace, seed));
+  }
+
+  const CampaignConfig ccfg;
+  CampaignSampler sampler(machine, w.trace, ccfg);
+  std::vector<double> streamed;
+  for (std::size_t chunk : {3, 137, 360, 500}) {
+    sampler.append_to(streamed, chunk);
+  }
+  const std::vector<double> one_shot =
+      run_campaign(machine, w.trace, 1000, ccfg);
+  EXPECT_EQ(streamed, one_shot);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    CampaignConfig grained;
+    grained.grain = 17;
+    std::vector<double> times(1000);
+    run_campaign_into(machine, w.trace, times.size(), times.data(), grained,
+                      0, &pool);
+    EXPECT_EQ(times, one_shot) << "threads " << threads;
+  }
+}
+
 TEST(EngineEquivalence, WorkspaceReuseIsBitIdentical) {
   const TestWorkload w = test_workload();
   const TestWorkload small = test_workload("janne");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -151,6 +152,148 @@ TEST(AnalyzeTrace, TakesMaxOfBothSides) {
   EXPECT_LE(res.il1.required_runs, 10u);
   EXPECT_GE(res.dl1.required_runs, 84000u);
   EXPECT_EQ(res.required_runs, res.dl1.required_runs);
+}
+
+TEST(ModuloCoMappable, SameBlockLinesNeverCoMap) {
+  // Lines 1..3 share block 0 of an 8-set cache: random-modulo keeps their
+  // offsets distinct, so the group can never land in one set.
+  const std::vector<Addr> same_block{1, 2, 3};
+  EXPECT_FALSE(modulo_group_co_mappable(same_block, 8));
+  const std::vector<Addr> distinct_blocks{1, 9, 17};
+  EXPECT_TRUE(modulo_group_co_mappable(distinct_blocks, 8));
+  const std::vector<Addr> mixed{1, 9, 10};  // 9 and 10 share block 1
+  EXPECT_FALSE(modulo_group_co_mappable(mixed, 8));
+}
+
+TEST(AnalyzeSequence, ModuloPlacementDropsSameBlockEvents) {
+  // round_robin's 5 lines (1..5) all live in block 0 of an 8-set cache:
+  // under hash placement they are the paper's ~85k-run event, under
+  // random-modulo they can never conflict at all.
+  const auto seq = round_robin(5, 1000);
+  CacheConfig hash = CacheConfig::example_s8w4();
+  const TacSequenceResult with_hash =
+      analyze_sequence(seq, hash, 1e5, 100.0);
+  EXPECT_GE(with_hash.required_runs, 84000u);
+
+  CacheConfig modulo = hash;
+  modulo.placement = Placement::kModulo;
+  const TacSequenceResult with_modulo =
+      analyze_sequence(seq, modulo, 1e5, 100.0);
+  EXPECT_TRUE(with_modulo.events.empty());
+  EXPECT_EQ(with_modulo.required_runs, 1u);
+
+  // Spread the same working set across distinct blocks and the event is
+  // back: block-distinct groups co-map with the usual (1/S)^(k-1).
+  std::vector<Addr> spread;
+  for (int r = 0; r < 1000; ++r) {
+    for (Addr l = 0; l < 5; ++l) spread.push_back(1 + l * 8);
+  }
+  const TacSequenceResult spread_modulo =
+      analyze_sequence(spread, modulo, 1e5, 100.0);
+  EXPECT_GE(spread_modulo.required_runs, 84000u);
+}
+
+TEST(AnalyzeSequence, ModuloKeepsClassesWithBlockDistinctCombinations) {
+  // Cluster {1,2,9,17,25,33}: a 5-group representative picks {1,2,...}
+  // (1 and 2 share block 0 and can never co-map), but combinations like
+  // {1,9,17,25,33} are block-distinct and genuinely co-map — the class
+  // must survive the modulo filter with its full combination count.
+  std::vector<Addr> seq;
+  const Addr lines[] = {1, 2, 9, 17, 25, 33};
+  for (int r = 0; r < 1000; ++r) {
+    for (const Addr l : lines) seq.push_back(l);
+  }
+  CacheConfig modulo = CacheConfig::example_s8w4();
+  modulo.placement = Placement::kModulo;
+  TacConfig cfg;
+  cfg.conflict.extra_group_sizes = {0};
+  const TacSequenceResult res = analyze_sequence(seq, modulo, 1e5, 100.0, cfg);
+  EXPECT_FALSE(res.events.empty());
+  EXPECT_GT(res.required_runs, 1000u);
+}
+
+TEST(AnalyzeSequence, ModuloInfeasibleMinimalClassDoesNotMaskLargerGroups) {
+  // Two phases: a very hot same-block 5-line cluster (infeasible under
+  // modulo — probability exactly 0) and a cooler 6-line block-distinct
+  // cluster. The infeasible class has the largest W+1 impact; it must
+  // NOT serve as the larger-group pruning yardstick, or the feasible
+  // 6-group event (impact above its own 5-subsets, far below the
+  // infeasible class) would vanish and required runs be underestimated.
+  std::vector<Addr> seq;
+  for (int r = 0; r < 4000; ++r) {
+    for (Addr l = 1; l <= 5; ++l) seq.push_back(l);  // block 0, very hot
+  }
+  for (int r = 0; r < 1000; ++r) {
+    for (Addr b = 1; b <= 6; ++b) seq.push_back(b * 8);  // distinct blocks
+  }
+  CacheConfig modulo = CacheConfig::example_s8w4();
+  modulo.placement = Placement::kModulo;
+  const TacSequenceResult res = analyze_sequence(seq, modulo, 1e6, 100.0);
+  bool has_k6 = false;
+  for (const TacEvent& ev : res.events) has_k6 |= ev.group_size == 6;
+  EXPECT_TRUE(has_k6);
+}
+
+TEST(AnalyzeTrace, RandomL2AddsAUnifiedEventSource) {
+  // Data-side 5-line conflict; a same-geometry random L2 sees the unified
+  // stream (6 lines) and contributes its own events.
+  MemTrace trace;
+  for (int r = 0; r < 1000; ++r) {
+    trace.emit(0x1000, AccessKind::kIFetch);
+    for (Addr l = 0; l < 5; ++l) {
+      trace.emit(0x8000 + l * 32, AccessKind::kLoad);
+    }
+  }
+  HierarchyConfig l2;
+  l2.enabled = true;
+  l2.l2 = CacheConfig::example_s8w4();
+  l2.latency = 10;
+  const TacTraceResult res =
+      analyze_trace(trace, CacheConfig::example_s8w4(),
+                    CacheConfig::example_s8w4(), 1e5, 100.0, {}, l2);
+  EXPECT_FALSE(res.l2.events.empty());
+  EXPECT_GE(res.l2.required_runs, 1u);
+  EXPECT_EQ(res.required_runs,
+            std::max({res.il1.required_runs, res.dl1.required_runs,
+                      res.l2.required_runs}));
+  // The single-level analysis leaves the L2 side untouched.
+  const TacTraceResult single =
+      analyze_trace(trace, CacheConfig::example_s8w4(),
+                    CacheConfig::example_s8w4(), 1e5, 100.0);
+  EXPECT_EQ(single.l2.required_runs, 0u);
+  EXPECT_TRUE(single.l2.events.empty());
+}
+
+TEST(AnalyzeTrace, CoveringLruL2CapsTheL1MissPenalty) {
+  // A deterministic LRU L2 that provably retains the working set caps an
+  // extra L1 miss at the probe latency; an over-committed one cannot.
+  MemTrace trace;
+  for (int r = 0; r < 1000; ++r) {
+    trace.emit(0x1000, AccessKind::kIFetch);
+    for (Addr l = 0; l < 5; ++l) {
+      trace.emit(0x8000 + l * 32, AccessKind::kLoad);
+    }
+  }
+  HierarchyConfig covering;
+  covering.enabled = true;
+  covering.policy = L2Policy::kLru;  // 256x8: trivially covers 6 lines
+  HierarchyConfig thrashing = covering;
+  thrashing.l2 = CacheConfig{1, 2, 32};  // 6 lines through 2 ways
+  const TacTraceResult covered =
+      analyze_trace(trace, CacheConfig::example_s8w4(),
+                    CacheConfig::example_s8w4(), 1e5, 100.0, {}, covering);
+  const TacTraceResult evicting =
+      analyze_trace(trace, CacheConfig::example_s8w4(),
+                    CacheConfig::example_s8w4(), 1e5, 100.0, {}, thrashing);
+  // Neither has L2 events (LRU adds no randomness)...
+  EXPECT_TRUE(covered.l2.events.empty());
+  EXPECT_TRUE(evicting.l2.events.empty());
+  // ...but the covered hierarchy judges L1 events at 10 cycles/miss
+  // instead of 110, so events need 11x the misses to stay relevant.
+  EXPECT_LE(covered.required_runs, evicting.required_runs);
+  for (const TacEvent& ev : covered.dl1.events) {
+    EXPECT_GE(ev.extra_misses * 10.0, 0.01 * 1e5);
+  }
 }
 
 TEST(AnalyzeSequence, MorePessimisticTargetNeedsMoreRuns) {

@@ -5,11 +5,13 @@
 //
 //   mbcr analyze --suite bs --mode pub_tac            # full Fig. 3 process
 //   mbcr analyze --suite bs --mode multipath          # Corollary 2, 8 paths
+//   mbcr analyze --suite bs --l2-sets 256 --l2-policy random  # shared L2
 //   mbcr measure --suite crc --input all --runs 20000 # raw ECCDF campaigns
 //   mbcr pub     --suite cnt                          # PUB-only baseline
 //   mbcr tac     --suite bs                           # TAC event detail
 //   mbcr list                                         # suite registry
 //   mbcr analyze --suite bs --json bs.json && mbcr report bs.json
+//   mbcr analyze --spec bs.json                       # replay a saved spec
 //
 // All subcommands accept the StudySpec flag surface (see `mbcr analyze
 // --help`); results can be emitted as JSON (--json FILE) and CSV
@@ -38,6 +40,14 @@ std::map<std::string, std::string> study_flags(bool with_mode) {
   flags.emplace("json", "");
   flags.emplace("csv", "");
   return flags;
+}
+
+core::StudySpec load_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return core::StudySpec::from_json(json::parse(buffer.str()));
 }
 
 void emit_to(const std::string& path, const char* what,
@@ -70,7 +80,14 @@ int emit(const core::StudyResult& result, const SubcommandCli::Parsed& cmd) {
 
 core::StudyResult run_spec(const SubcommandCli::Parsed& cmd,
                            const char* forced_mode) {
-  core::StudySpec spec = core::StudySpec::from_flags(cmd.values);
+  // --spec FILE replays a saved StudySpec JSON (bare spec or whole result
+  // document) verbatim; the study flags on the command line are ignored
+  // then, so the file remains the single source of truth.
+  const auto spec_path = cmd.values.find("spec");
+  core::StudySpec spec =
+      (spec_path != cmd.values.end() && !spec_path->second.empty())
+          ? load_spec_file(spec_path->second)
+          : core::StudySpec::from_flags(cmd.values);
   if (forced_mode) spec.mode = core::parse_study_mode(forced_mode);
   return core::run_study(spec);
 }
@@ -101,6 +118,7 @@ int cmd_tac(const SubcommandCli::Parsed& cmd) {
     };
     add_side("IL1", pa.tac.il1);
     add_side("DL1", pa.tac.dl1);
+    add_side("L2", pa.tac.l2);
   }
   if (table.rows() == 0) {
     std::cout << "\nno relevant TAC events above the impact threshold\n";
@@ -148,8 +166,11 @@ int main(int argc, char** argv) {
       "mbcr — measurement-based probabilistic timing analysis with PUB+TAC\n"
       "(DAC'18 reproduction): declarative studies over the Malardalen suite\n"
       "and random programs, on the randomized-cache platform model.");
+  std::map<std::string, std::string> analyze_flags =
+      study_flags(/*with_mode=*/true);
+  analyze_flags.emplace("spec", "");  // saved StudySpec JSON as input
   cli.add_command({"analyze", "run a study (choose the mode with --mode)",
-                   study_flags(/*with_mode=*/true), {}});
+                   std::move(analyze_flags), {}});
   cli.add_command({"measure",
                    "raw measurement campaign, no EVT (mode=measure)",
                    study_flags(false), {}});
