@@ -1,21 +1,201 @@
-// Micro-benchmarks (google-benchmark): throughput of the simulator hot
-// paths. These bound the wall-clock cost of the measurement campaigns the
-// method needs (hundreds of thousands of runs per benchmark).
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks: throughput of the simulator hot paths. These bound
+// the wall-clock cost of the measurement campaigns the method needs
+// (hundreds of thousands of runs per benchmark).
+//
+// Two modes:
+//  * default — the google-benchmark suites (available only when the
+//    binary was built with google-benchmark; all --benchmark_* flags work)
+//  * `--json FILE` — the replay-throughput report: runs/sec of
+//    `Machine::run_once` vs the trace-major `Machine::run_batch` per
+//    kernel and hierarchy flavor, timed with plain std::chrono (no
+//    google-benchmark needed) and written as JSON. This is the
+//    `BENCH_replay.json` CI artifact that tracks the perf trajectory.
+//    `--replay-runs N` caps the runs per timed case (CI smoke),
+//    `--batch W` overrides the batch width under test.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
-#include "cache/random_cache.hpp"
 #include "ir/interp.hpp"
 #include "platform/campaign.hpp"
-#include "pub/pub_transform.hpp"
+#include "platform/machine.hpp"
 #include "suite/malardalen.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+#ifdef MBCR_HAVE_GOOGLE_BENCHMARK
+#include <benchmark/benchmark.h>
+
+#include "cache/random_cache.hpp"
+#include "pub/pub_transform.hpp"
 #include "tac/runs.hpp"
+#endif
 
 namespace {
 
 using namespace mbcr;
+
+CompactTrace kernel_trace(const std::string& name) {
+  const auto b = suite::make_benchmark(name);
+  return CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+}
+
+// ---------------------------------------------------------------------------
+// Replay-throughput report (--json): run_once vs run_batch, per kernel and
+// hierarchy flavor. Timed with steady_clock so the mode works in builds
+// without google-benchmark; each case first pins run_batch == run_once
+// bit-for-bit on its exact configuration.
+
+struct ReplayFlavor {
+  const char* name;
+  platform::MachineConfig config;
+};
+
+std::vector<ReplayFlavor> replay_flavors() {
+  platform::MachineConfig l1_only;
+  platform::MachineConfig l2_random;
+  l2_random.l2 = HierarchyConfig::shared_l2_random();
+  platform::MachineConfig l2_lru;
+  l2_lru.l2 = HierarchyConfig::shared_l2_lru();
+  return {{"l1_only", l1_only},
+          {"l2_random", l2_random},
+          {"l2_lru", l2_lru}};
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct ReplayCase {
+  std::string kernel;
+  std::string flavor;
+  std::size_t trace_accesses = 0;
+  double run_once_rps = 0;
+  double run_batch_rps = 0;
+  double speedup = 0;
+};
+
+ReplayCase time_replay_case(const std::string& kernel,
+                            const ReplayFlavor& flavor,
+                            const CompactTrace& trace, std::size_t runs,
+                            std::size_t batch) {
+  const platform::Machine machine(flavor.config);
+  platform::RunWorkspace ws;
+  constexpr std::uint64_t kMasterSeed = 42;
+
+  // Bit-identity guard before timing: the same `batch`-wide slicing the
+  // timed loop uses, over the head of the same seed sequence.
+  {
+    const std::size_t guard_runs = std::min<std::size_t>(runs, 3 * batch);
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::uint64_t> batched(guard_runs);
+    for (std::size_t i = 0; i < guard_runs;) {
+      const std::size_t width = std::min(batch, guard_runs - i);
+      seeds.resize(width);
+      for (std::size_t j = 0; j < width; ++j) {
+        seeds[j] = mix64(i + j, kMasterSeed);
+      }
+      machine.run_batch(trace, seeds, ws, batched.data() + i);
+      i += width;
+    }
+    for (std::size_t i = 0; i < guard_runs; ++i) {
+      if (batched[i] != machine.run_once(trace, mix64(i, kMasterSeed), ws)) {
+        std::fprintf(stderr,
+                     "run_batch mismatch: kernel %s flavor %s run %zu\n",
+                     kernel.c_str(), flavor.name, i);
+        std::abort();
+      }
+    }
+  }
+
+  ReplayCase out;
+  out.kernel = kernel;
+  out.flavor = flavor.name;
+  out.trace_accesses = trace.size();
+
+  // run_once, workspace overload: the per-run engine hot path.
+  std::uint64_t sink = 0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < runs; ++i) {
+      sink ^= machine.run_once(trace, mix64(i, kMasterSeed), ws);
+    }
+    out.run_once_rps = static_cast<double>(runs) / seconds_since(start);
+  }
+
+  // run_batch over the identical seed sequence, `batch`-wide slices.
+  std::vector<std::uint64_t> seeds(batch);
+  std::vector<std::uint64_t> cycles(batch);
+  {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < runs;) {
+      const std::size_t width = std::min(batch, runs - i);
+      seeds.resize(width);
+      cycles.resize(width);
+      for (std::size_t j = 0; j < width; ++j) {
+        seeds[j] = mix64(i + j, kMasterSeed);
+      }
+      machine.run_batch(trace, seeds, ws, cycles.data());
+      sink ^= cycles[0];
+      i += width;
+    }
+    out.run_batch_rps = static_cast<double>(runs) / seconds_since(start);
+  }
+  if (sink == 0xdeadbeef) std::fprintf(stderr, "...");  // keep `sink` live
+
+  out.speedup = out.run_batch_rps / out.run_once_rps;
+  return out;
+}
+
+int run_replay_report(const std::string& json_path, std::size_t runs,
+                      std::size_t batch) {
+  const std::vector<std::string> kernels = {"bs", "crc", "matmult"};
+  json::Array cases;
+  std::printf("%-8s %-10s %10s %14s %14s %8s\n", "kernel", "flavor",
+              "accesses", "run_once r/s", "run_batch r/s", "speedup");
+  for (const std::string& kernel : kernels) {
+    const CompactTrace trace = kernel_trace(kernel);
+    for (const ReplayFlavor& flavor : replay_flavors()) {
+      const ReplayCase c = time_replay_case(kernel, flavor, trace, runs,
+                                            batch);
+      std::printf("%-8s %-10s %10zu %14.0f %14.0f %7.2fx\n",
+                  c.kernel.c_str(), c.flavor.c_str(), c.trace_accesses,
+                  c.run_once_rps, c.run_batch_rps, c.speedup);
+      json::Object o;
+      o.emplace_back("kernel", c.kernel);
+      o.emplace_back("flavor", c.flavor);
+      o.emplace_back("trace_accesses", c.trace_accesses);
+      o.emplace_back("run_once_runs_per_sec", c.run_once_rps);
+      o.emplace_back("run_batch_runs_per_sec", c.run_batch_rps);
+      o.emplace_back("speedup", c.speedup);
+      cases.emplace_back(std::move(o));
+    }
+  }
+  json::Object doc;
+  doc.emplace_back("schema", "mbcr-bench-replay-v1");
+  doc.emplace_back("batch_width", batch);
+  doc.emplace_back("runs_per_case", runs);
+  doc.emplace_back("cases", std::move(cases));
+
+  std::ofstream file(json_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  json::Value(std::move(doc)).write(file, 2);
+  file << "\n";
+  std::printf("[replay report written to %s]\n", json_path.c_str());
+  return 0;
+}
+
+#ifdef MBCR_HAVE_GOOGLE_BENCHMARK
 
 void BM_RandomCacheAccess(benchmark::State& state) {
   RandomCache cache(CacheConfig::paper_l1(), 1, 2);
@@ -34,9 +214,10 @@ void BM_MachineRunOnce(benchmark::State& state) {
   const auto trace = CompactTrace::from(
       ir::lower_and_execute(b.program, b.default_input).trace);
   const platform::Machine machine;
+  platform::RunWorkspace ws;
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(machine.run_once(trace, ++seed));
+    benchmark::DoNotOptimize(machine.run_once(trace, ++seed, ws));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(trace.size()));
@@ -44,14 +225,37 @@ void BM_MachineRunOnce(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineRunOnce)->Arg(0)->Arg(1)->Arg(2);
 
+// Trace-major batched replay vs the same runs replayed one by one.
+// items/sec == campaign runs/sec; arg is the batch width (1 == run_once).
+void BM_MachineRunBatch(benchmark::State& state) {
+  const auto trace = kernel_trace("crc");
+  const platform::Machine machine;
+  platform::RunWorkspace ws;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint64_t> seeds(batch);
+  std::vector<std::uint64_t> cycles(batch);
+  std::uint64_t next = 0;
+  for (auto _ : state) {
+    if (batch == 1) {
+      benchmark::DoNotOptimize(machine.run_once(trace, ++next, ws));
+    } else {
+      for (std::size_t j = 0; j < batch; ++j) seeds[j] = ++next;
+      machine.run_batch(trace, seeds, ws, cycles.data());
+      benchmark::DoNotOptimize(cycles.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+  state.SetLabel("crc, batch " + std::to_string(batch));
+}
+BENCHMARK(BM_MachineRunBatch)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
 // Hot-path overhead of the two-level hierarchy, tracked from day one:
 // the same trace replayed L1-only (arg 0), with a random L2 (arg 1) and
 // with a deterministic LRU L2 (arg 2). items/sec == accesses/sec, so the
 // L2 rows directly show the per-access cost of the second level.
 void BM_MachineRunOnceHierarchy(benchmark::State& state) {
-  const auto b = suite::make_benchmark("crc");
-  const auto trace = CompactTrace::from(
-      ir::lower_and_execute(b.program, b.default_input).trace);
+  const auto trace = kernel_trace("crc");
   platform::MachineConfig cfg;
   if (state.range(0) == 1) cfg.l2 = HierarchyConfig::shared_l2_random();
   if (state.range(0) == 2) cfg.l2 = HierarchyConfig::shared_l2_lru();
@@ -70,9 +274,7 @@ void BM_MachineRunOnceHierarchy(benchmark::State& state) {
 BENCHMARK(BM_MachineRunOnceHierarchy)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ParallelCampaign(benchmark::State& state) {
-  const auto b = suite::make_benchmark("ns");
-  const auto trace = CompactTrace::from(
-      ir::lower_and_execute(b.program, b.default_input).trace);
+  const auto trace = kernel_trace("ns");
   const platform::Machine machine;
   const auto runs = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -90,9 +292,10 @@ BENCHMARK(BM_ParallelCampaign)->Arg(1000)->Arg(10000);
 // campaign of `total` runs executed as consecutive `chunk`-run extensions
 // (exactly what mbpta::converge_stream does per delta). The v1 engine
 // spawns and joins std::threads for every chunk and materializes a fresh
-// vector per chunk; the v2 engine reuses the shared persistent pool and
-// streams into one caller-owned buffer. Both produce bit-identical samples
-// (checked at startup below and in tests/platform/engine_equivalence).
+// vector per chunk; the v2 engine reuses the shared persistent pool,
+// streams into one caller-owned buffer and replays trace-major batches.
+// Both produce bit-identical samples (checked at startup below and in
+// tests/platform/engine_equivalence).
 
 constexpr std::size_t kEngineTotalRuns = 10'000;
 constexpr std::size_t kEngineChunk = 512;
@@ -100,12 +303,10 @@ constexpr unsigned kEngineThreads = 8;
 
 // The paper's flagship benchmark (binary search). Its short trace makes
 // campaigns engine-overhead-bound — exactly the regime the persistent
-// pool, the streaming sink, and the reusable run workspace target.
+// pool, the streaming sink, the reusable run workspace and the batched
+// replay target.
 const CompactTrace& engine_trace() {
-  static const CompactTrace trace = CompactTrace::from(
-      ir::lower_and_execute(suite::make_benchmark("bs").program,
-                            suite::make_benchmark("bs").default_input)
-          .trace);
+  static const CompactTrace trace = kernel_trace("bs");
   return trace;
 }
 
@@ -138,7 +339,8 @@ void BM_CampaignEngineV2PersistentPool(benchmark::State& state) {
   const platform::Machine machine;
   platform::CampaignConfig cfg;
   // Same concurrency bound as the v1 bench, so the comparison isolates
-  // engine overhead (spawn/join, alloc, copy) from parallelism width.
+  // engine overhead (spawn/join, alloc, copy, batching) from parallelism
+  // width.
   cfg.threads = kEngineThreads;
   const auto chunk = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -157,25 +359,6 @@ BENCHMARK(BM_CampaignEngineV2PersistentPool)
     ->Arg(kEngineChunk)
     ->Arg(kEngineTotalRuns)
     ->UseRealTime();
-
-/// Startup guard: the two engines must agree byte-for-byte on the exact
-/// configuration benchmarked above, for several thread counts.
-const bool kEnginesAgree = [] {
-  const auto& trace = engine_trace();
-  const platform::Machine machine;
-  platform::CampaignConfig base;
-  const std::vector<double> want =
-      platform::run_campaign(machine, trace, 2048, base);
-  for (unsigned threads : {1u, 2u, kEngineThreads}) {
-    platform::CampaignConfig cfg;
-    cfg.threads = threads;
-    if (platform::run_campaign_spawn(machine, trace, 2048, cfg) != want) {
-      std::fprintf(stderr, "engine mismatch at threads=%u\n", threads);
-      std::abort();
-    }
-  }
-  return true;
-}();
 
 void BM_InterpreterTrace(benchmark::State& state) {
   const auto b = suite::make_benchmark("crc");
@@ -206,6 +389,96 @@ void BM_TacAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_TacAnalysis);
 
+#endif  // MBCR_HAVE_GOOGLE_BENCHMARK
+
+/// Startup guard: the campaign engines (v1 spawn, v2 pool with batching)
+/// must agree byte-for-byte, for several thread counts and batch widths.
+const bool kEnginesAgree = [] {
+  const CompactTrace trace = kernel_trace("bs");
+  const platform::Machine machine;
+  platform::CampaignConfig base;
+  const std::vector<double> want =
+      platform::run_campaign(machine, trace, 2048, base);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    platform::CampaignConfig cfg;
+    cfg.threads = threads;
+    if (platform::run_campaign_spawn(machine, trace, 2048, cfg) != want) {
+      std::fprintf(stderr, "engine mismatch at threads=%u\n", threads);
+      std::abort();
+    }
+  }
+  // Batch widths are checked on crc: bs is below the engine's tiny-trace
+  // fallback, so a bs campaign never batches.
+  const CompactTrace batched_trace = kernel_trace("crc");
+  const std::vector<double> batched_want =
+      platform::run_campaign(machine, batched_trace, 512, base);
+  for (std::size_t batch : {1, 5, 64}) {
+    platform::CampaignConfig cfg;
+    cfg.batch = batch;
+    if (platform::run_campaign(machine, batched_trace, 512, cfg) !=
+        batched_want) {
+      std::fprintf(stderr, "engine mismatch at batch=%zu\n", batch);
+      std::abort();
+    }
+  }
+  return true;
+}();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t replay_runs = 4000;
+  std::size_t batch = mbcr::platform::CampaignConfig{}.batch;
+
+  // Strip the replay-report flags; everything else flows through to
+  // google-benchmark (when built in).
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const auto take_value = [&](const char* flag, std::string& out) {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+        out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take_value("--json", json_path)) continue;
+    if (take_value("--replay-runs", value)) {
+      replay_runs = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (take_value("--batch", value)) {
+      batch = static_cast<std::size_t>(std::strtoull(
+          value.c_str(), nullptr, 10));
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+
+  if (!json_path.empty()) {
+    if (replay_runs == 0 || batch == 0) {
+      std::fprintf(stderr, "--replay-runs and --batch must be positive\n");
+      return 2;
+    }
+    return run_replay_report(json_path, replay_runs, batch);
+  }
+
+#ifdef MBCR_HAVE_GOOGLE_BENCHMARK
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::fprintf(stderr,
+               "micro_throughput was built without google-benchmark; only "
+               "the replay report is available: --json FILE "
+               "[--replay-runs N] [--batch W]\n");
+  return 2;
+#endif
+}

@@ -299,7 +299,8 @@ std::map<std::string, std::string> StudySpec::flag_spec() {
       {"suite", ""},       {"randprog", ""},
       {"mode", "pub_tac"}, {"input", "default"},
       {"seed", "42"},      {"threads", "0"},
-      {"grain", "64"},     {"sets", "64"},
+      {"grain", "64"},     {"batch", "32"},
+      {"sets", "64"},
       {"ways", "2"},       {"line", "32"},
       {"placement", "hash"},
       {"l2-sets", "0"},    {"l2-ways", "8"},
@@ -342,6 +343,8 @@ StudySpec StudySpec::from_flags(
       static_cast<unsigned>(parse_u64("threads", get("threads")));
   spec.config.campaign.grain =
       static_cast<std::size_t>(parse_u64("grain", get("grain")));
+  spec.config.campaign.batch =
+      static_cast<std::size_t>(parse_u64("batch", get("batch")));
 
   const auto sets = static_cast<std::uint32_t>(parse_u64("sets", get("sets")));
   const auto ways = static_cast<std::uint32_t>(parse_u64("ways", get("ways")));
@@ -471,6 +474,7 @@ json::Value StudySpec::to_json() const {
     c.emplace_back("master_seed", std::to_string(config.campaign.master_seed));
     c.emplace_back("threads", config.campaign.threads);
     c.emplace_back("grain", config.campaign.grain);
+    c.emplace_back("batch", config.campaign.batch);
     o.emplace_back("campaign", json::Value(std::move(c)));
   }
   {
@@ -616,6 +620,10 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
         jnum(c->find("threads"), spec.config.campaign.threads));
     spec.config.campaign.grain =
         jsize(c->find("grain"), spec.config.campaign.grain);
+    // v1/v2 documents predate batched replay; the default width applies
+    // (any width yields the identical sample, so replays stay exact).
+    spec.config.campaign.batch =
+        jsize(c->find("batch"), spec.config.campaign.batch);
   }
   if (const json::Value* c = s.find("convergence")) {
     mbpta::ConvergenceConfig& conv = spec.config.convergence;
@@ -685,7 +693,7 @@ json::Value StudyResult::to_json() const {
   const double probability = spec.config.pwcet_probability;
   json::Object doc;
   doc.reserve(7);
-  doc.emplace_back("schema", "mbcr-study-v2");
+  doc.emplace_back("schema", "mbcr-study-v3");
   doc.emplace_back("spec", spec.to_json());
   doc.emplace_back("program", program_name);
   {

@@ -19,10 +19,25 @@ ConvergenceResult converge_stream(const StreamSampler& sampler,
     }
   };
 
+  // Sorted mirror of result.sample, maintained incrementally: each delta
+  // sorts only the new chunk and merges it in, so the whole refit
+  // schedule costs O(n) per step instead of a fresh O(n log n) sort — the
+  // sample itself stays in run order (the analyzer slices it by run
+  // index). Probes on the mirror are bit-identical to probes on a
+  // freshly sorted copy: both are the same multiset in ascending order.
+  std::vector<double> sorted;
+  auto probe = [&]() {
+    const std::size_t merged = sorted.size();
+    sorted.insert(sorted.end(), result.sample.begin() + merged,
+                  result.sample.end());
+    std::sort(sorted.begin() + merged, sorted.end());
+    std::inplace_merge(sorted.begin(), sorted.begin() + merged, sorted.end());
+    return pwcet_probe_sorted(sorted, config.probability, config.evt);
+  };
+
   grow_to(config.min_runs);
   while (result.sample.size() <= config.max_runs) {
-    const PwcetCurve curve(result.sample, config.evt);
-    result.estimates.push_back(curve.at(config.probability));
+    result.estimates.push_back(probe());
 
     if (result.estimates.size() >= config.window) {
       const std::span<const double> window_span(

@@ -6,6 +6,11 @@
 // re-estimate pWCET at the certification probability each time, and stop
 // when the last `window` estimates stay within `tolerance` of their
 // median.
+//
+// Refits are incremental: the driver keeps a sorted mirror of the growing
+// sample (each delta sorts only the new chunk and merges it in) and probes
+// it through the sorted-span entry points of mbpta/{pwcet,evt}, so a refit
+// is O(n) instead of O(n log n) — bit-identical estimates either way.
 #pragma once
 
 #include <cstddef>

@@ -9,6 +9,12 @@ namespace mbcr::mbpta {
 Eccdf::Eccdf(std::span<const double> sample)
     : sorted_(sorted_copy(sample)) {}
 
+Eccdf Eccdf::from_sorted(std::span<const double> sorted) {
+  Eccdf out;
+  out.sorted_.assign(sorted.begin(), sorted.end());
+  return out;
+}
+
 double Eccdf::exceedance_prob(double t) const {
   if (sorted_.empty()) return 0.0;
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
@@ -16,13 +22,17 @@ double Eccdf::exceedance_prob(double t) const {
          static_cast<double>(sorted_.size());
 }
 
-double Eccdf::value_at_exceedance(double p) const {
-  if (sorted_.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted_.size());
+double value_at_exceedance_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
   // Rank r such that (n - r)/n <= p, i.e. r >= n(1-p).
   auto rank = static_cast<std::size_t>(std::max(0.0, n * (1.0 - p)));
-  if (rank >= sorted_.size()) rank = sorted_.size() - 1;
-  return sorted_[rank];
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+double Eccdf::value_at_exceedance(double p) const {
+  return value_at_exceedance_sorted(sorted_, p);
 }
 
 double Eccdf::min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }

@@ -8,10 +8,23 @@
 
 namespace mbcr::mbpta {
 
+/// Empirical upper-tail quantile on a raw ascending span: smallest
+/// observed value with exceedance probability <= p (the max observation
+/// for p below 1/n; 0 for an empty span). `Eccdf::value_at_exceedance`
+/// and the convergence driver's sorted probe both delegate here, so the
+/// rank arithmetic exists once.
+double value_at_exceedance_sorted(std::span<const double> sorted, double p);
+
 class Eccdf {
 public:
   Eccdf() = default;
   explicit Eccdf(std::span<const double> sample);
+
+  /// Builds from a sample that is ALREADY sorted ascending: one copy, no
+  /// sort. For equal multisets of values the result is identical to the
+  /// sorting constructor — callers (the convergence driver) that maintain
+  /// a sorted sample incrementally use this to skip the O(n log n) step.
+  static Eccdf from_sorted(std::span<const double> sorted);
 
   /// P(X > t) in the sample.
   double exceedance_prob(double t) const;

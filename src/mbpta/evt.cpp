@@ -25,11 +25,17 @@ double ExpTailFit::exceedance_prob(double t) const {
 
 ExpTailFit fit_exponential_tail(std::span<const double> sample,
                                 const EvtConfig& config) {
-  ExpTailFit fit;
-  fit.n_total = sample.size();
-  if (sample.empty()) return fit;
-
+  if (sample.empty()) return {};
   const std::vector<double> sorted = sorted_copy(sample);
+  return fit_exponential_tail_sorted(sorted, config);
+}
+
+ExpTailFit fit_exponential_tail_sorted(std::span<const double> sorted,
+                                       const EvtConfig& config) {
+  ExpTailFit fit;
+  fit.n_total = sorted.size();
+  if (sorted.empty()) return fit;
+
   const auto n = sorted.size();
 
   // Candidate thresholds: progressively higher quantiles. Accept the first

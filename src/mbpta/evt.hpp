@@ -49,6 +49,15 @@ struct ExpTailFit {
 ExpTailFit fit_exponential_tail(std::span<const double> sample,
                                 const EvtConfig& config = {});
 
+/// Same fit on a sample that is ALREADY sorted ascending — skips the
+/// internal `sorted_copy`. The convergence driver keeps its growing
+/// sample sorted across deltas and refits through this entry point, so a
+/// probe refit is O(n) instead of O(n log n). The fit depends only on the
+/// sample's order statistics, so for equal multisets of values this is
+/// bit-identical to `fit_exponential_tail`.
+ExpTailFit fit_exponential_tail_sorted(std::span<const double> sorted,
+                                       const EvtConfig& config = {});
+
 struct GumbelFit {
   double mu = 0.0;    ///< location
   double beta = 0.0;  ///< scale

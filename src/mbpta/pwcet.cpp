@@ -11,14 +11,40 @@ PwcetCurve::PwcetCurve(std::span<const double> sample,
       tail_(fit_exponential_tail(sample, config)),
       iid_(check_iid(sample)) {}
 
+PwcetCurve PwcetCurve::from_sorted(std::span<const double> sorted,
+                                   const EvtConfig& config) {
+  PwcetCurve out;
+  out.eccdf_ = Eccdf::from_sorted(sorted);
+  out.tail_ = fit_exponential_tail_sorted(sorted, config);
+  return out;
+}
+
+namespace {
+
+/// Within the resolution of the sample the empirical quantile is used;
+/// past it, the fitted exponential tail extrapolates. The blend is the
+/// max of both so the model never undercuts an actual observation —
+/// shared by PwcetCurve::at and the convergence driver's sorted probe.
+double empirical_tail_blend(double empirical, const ExpTailFit& tail,
+                            double p) {
+  if (p >= tail.zeta) return empirical;
+  return std::max(empirical, tail.quantile(p));
+}
+
+}  // namespace
+
+double pwcet_probe_sorted(std::span<const double> sorted, double p,
+                          const EvtConfig& config) {
+  if (sorted.empty()) return 0.0;
+  const ExpTailFit tail = fit_exponential_tail_sorted(sorted, config);
+  return empirical_tail_blend(value_at_exceedance_sorted(sorted, p), tail, p);
+}
+
 double PwcetCurve::at(double p) const {
   if (eccdf_.size() == 0) return 0.0;
-  // Within the resolution of the sample the empirical quantile is used;
-  // past it, the fitted exponential tail extrapolates. The curve is the
-  // max of both so the model never undercuts an actual observation.
-  const double empirical = eccdf_.value_at_exceedance(p);
-  if (p >= tail_.zeta) return std::min(empirical, upper_bound_);
-  return std::min(std::max(empirical, tail_.quantile(p)), upper_bound_);
+  return std::min(
+      empirical_tail_blend(eccdf_.value_at_exceedance(p), tail_, p),
+      upper_bound_);
 }
 
 std::vector<PwcetCurve::CurvePoint> PwcetCurve::grid(int max_exp) const {

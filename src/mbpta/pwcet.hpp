@@ -25,6 +25,15 @@ public:
   explicit PwcetCurve(std::span<const double> sample,
                       const EvtConfig& config = {});
 
+  /// Fits the curve on a sample that is ALREADY sorted ascending: skips
+  /// both internal sorts (ECCDF + tail fit), so a refit over a growing
+  /// sorted sample is near-linear. The i.i.d. diagnostics need the
+  /// run-order sequence, which a sorted sample no longer carries, so
+  /// `iid()` stays at its defaults here; `at()`/`tail()`/`eccdf()` are
+  /// identical to the sorting constructor's for equal multisets.
+  static PwcetCurve from_sorted(std::span<const double> sorted,
+                                const EvtConfig& config = {});
+
   /// pWCET at exceedance probability `p` per run.
   double at(double p) const;
 
@@ -63,5 +72,14 @@ private:
   IidReport iid_;
   double upper_bound_ = std::numeric_limits<double>::infinity();
 };
+
+/// `PwcetCurve(sample).at(p)` (no upper bound) evaluated directly on an
+/// already-sorted sample: empirical upper-tail quantile + fitted
+/// exponential tail, with no ECCDF copy and no i.i.d. tests. This is the
+/// convergence driver's per-delta probe — one O(n) pass per refit instead
+/// of a fresh O(n log n) sort. Bit-identical to the full curve's `at` for
+/// equal multisets of values.
+double pwcet_probe_sorted(std::span<const double> sorted, double p,
+                          const EvtConfig& config = {});
 
 }  // namespace mbcr::mbpta

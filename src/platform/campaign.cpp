@@ -17,15 +17,36 @@ void run_campaign_into(const Machine& machine, const CompactTrace& trace,
   // threads counts the caller among the claimants (it always runs).
   const std::size_t max_helpers =
       config.threads == 0 ? SIZE_MAX : config.threads - 1;
+  const std::size_t batch = trace.size() < kBatchMinTraceEntries
+                                ? 1
+                                : std::max<std::size_t>(1, config.batch);
   pool->parallel_for(
       runs, grain,
       [&](std::size_t begin, std::size_t end) {
         // One workspace per pool thread, reused across every chunk,
-        // campaign, trace, and machine this thread ever touches.
+        // campaign, trace, and machine this thread ever touches. A claimed
+        // chunk is a seed batch: it is replayed trace-major in
+        // `config.batch`-wide slices and streamed straight into the sink.
         static thread_local RunWorkspace ws;
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::uint64_t seed = mix64(first_run + i, config.master_seed);
-          out[i] = static_cast<double>(machine.run_once(trace, seed, ws));
+        for (std::size_t i = begin; i < end;) {
+          const std::size_t width = std::min(batch, end - i);
+          if (width == 1) {
+            const std::uint64_t seed =
+                mix64(first_run + i, config.master_seed);
+            out[i] = static_cast<double>(machine.run_once(trace, seed, ws));
+            ++i;
+            continue;
+          }
+          ws.seeds.resize(width);
+          ws.cycles.resize(width);
+          for (std::size_t j = 0; j < width; ++j) {
+            ws.seeds[j] = mix64(first_run + i + j, config.master_seed);
+          }
+          machine.run_batch(trace, ws.seeds, ws, ws.cycles.data());
+          for (std::size_t j = 0; j < width; ++j) {
+            out[i + j] = static_cast<double>(ws.cycles[j]);
+          }
+          i += width;
         }
       },
       max_helpers);
@@ -56,9 +77,10 @@ std::vector<double> run_campaign_spawn(const Machine& machine,
       std::min<std::size_t>(threads, std::max<std::size_t>(1, runs / 64)));
 
   auto worker = [&](std::size_t begin, std::size_t end) {
+    RunWorkspace ws;  // one per spawned thread, reused across its runs
     for (std::size_t i = begin; i < end; ++i) {
       const std::uint64_t seed = mix64(first_run + i, config.master_seed);
-      times[i] = static_cast<double>(machine.run_once(trace, seed));
+      times[i] = static_cast<double>(machine.run_once(trace, seed, ws));
     }
   };
 

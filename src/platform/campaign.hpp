@@ -32,7 +32,27 @@ struct CampaignConfig {
   /// Runs per pool chunk (v2 engine). Small enough to load-balance across
   /// workers, large enough that a chunk claim (a few atomics) is noise.
   std::size_t grain = 64;
+  /// Runs replayed per `Machine::run_batch` call inside a claimed chunk
+  /// (trace-major batching). Any width produces the identical sample —
+  /// per-run seeding makes runs independent — so this is a pure
+  /// throughput knob. `<= 1` disables batching (per-run `run_once`).
+  /// A batch never crosses a chunk claim, so the effective width is also
+  /// capped by `grain` — raise both to batch wider than one chunk.
+  /// 32 measured best on the medium/large suite kernels
+  /// (bench/micro_throughput --json, committed BENCH_replay.json: 1.87x
+  /// on crc L1-only; L2 flavors and matmult 1.2-1.5x run to run); tiny
+  /// traces are batch-setup-bound and replay FASTER per run, so the
+  /// engine falls back to per-run replay below `kBatchMinTraceEntries`
+  /// entries. Larger widths stop paying once the batch state outgrows
+  /// L1d.
+  std::size_t batch = 32;
 };
+
+/// Traces shorter than this replay per-run regardless of
+/// `CampaignConfig::batch`: per-run placement/RNG setup dominates tiny
+/// traces and batching only adds state. (Sample-invariant either way;
+/// full adaptive width selection is a ROADMAP item.)
+inline constexpr std::size_t kBatchMinTraceEntries = 1024;
 
 /// Campaign engine v2 (streaming sink): executes runs
 /// [first_run, first_run + runs) on `pool` and writes each run's execution

@@ -43,6 +43,7 @@ TEST(StudySpec, FlagDefaultsReproduceDefaultSpec) {
   EXPECT_EQ(spec.config.campaign.master_seed,
             dflt.config.campaign.master_seed);
   EXPECT_EQ(spec.config.campaign.grain, dflt.config.campaign.grain);
+  EXPECT_EQ(spec.config.campaign.batch, dflt.config.campaign.batch);
   EXPECT_EQ(spec.config.machine.il1.sets, dflt.config.machine.il1.sets);
   EXPECT_EQ(spec.config.machine.dl1.ways, dflt.config.machine.dl1.ways);
   EXPECT_EQ(spec.config.convergence.min_runs,
@@ -70,6 +71,9 @@ TEST(StudySpec, FromFlagsParsesOverrides) {
   flags["mode"] = "multipath";
   flags["input"] = "all";
   flags["seed"] = "7";
+  flags["threads"] = "3";
+  flags["grain"] = "17";
+  flags["batch"] = "5";
   flags["sets"] = "8";
   flags["ways"] = "4";
   flags["tolerance"] = "0.05";
@@ -82,6 +86,9 @@ TEST(StudySpec, FromFlagsParsesOverrides) {
   EXPECT_EQ(spec.mode, StudyMode::kMultipath);
   EXPECT_EQ(spec.inputs, InputSelection::kAllPaths);
   EXPECT_EQ(spec.config.campaign.master_seed, 7u);
+  EXPECT_EQ(spec.config.campaign.threads, 3u);
+  EXPECT_EQ(spec.config.campaign.grain, 17u);
+  EXPECT_EQ(spec.config.campaign.batch, 5u);
   EXPECT_EQ(spec.config.machine.il1.sets, 8u);
   EXPECT_EQ(spec.config.machine.dl1.ways, 4u);
   EXPECT_DOUBLE_EQ(spec.config.convergence.tolerance, 0.05);
@@ -178,6 +185,7 @@ TEST(StudySpec, JsonRoundTripsExactly) {
   flags["suite"] = "crc";
   flags["mode"] = "multipath";
   flags["seed"] = "18446744073709551615";  // 64-bit seed, full precision
+  flags["batch"] = "9";
   flags["placement"] = "modulo";
   flags["l2-sets"] = "512";
   flags["l2-policy"] = "random";
@@ -191,6 +199,7 @@ TEST(StudySpec, JsonRoundTripsExactly) {
   const StudySpec back = StudySpec::from_json(doc);
   EXPECT_EQ(back.to_json().dump(2), doc.dump(2));
   EXPECT_EQ(back.config.campaign.master_seed, 18446744073709551615ull);
+  EXPECT_EQ(back.config.campaign.batch, 9u);
   EXPECT_EQ(back.config.machine.l2.l2.sets, 512u);
   EXPECT_EQ(back.config.machine.l2.l2.placement, Placement::kModulo);
   EXPECT_EQ(back.config.machine.il1.placement, Placement::kModulo);
@@ -220,6 +229,9 @@ TEST(StudySpec, FromJsonReadsV1DocumentsWithDefaults) {
   const StudySpec dflt;
   EXPECT_EQ(spec.config.convergence.max_runs,
             dflt.config.convergence.max_runs);
+  // Pre-batching documents get the default batch width — samples are
+  // batch-width invariant, so the replay stays exact.
+  EXPECT_EQ(spec.config.campaign.batch, dflt.config.campaign.batch);
   EXPECT_NO_THROW(spec.validate());
 }
 
@@ -401,7 +413,7 @@ TEST(StudyResult, JsonRoundTrips) {
   result.write_json(ss);
   const json::Value doc = json::parse(ss.str());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v2");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v3");
   EXPECT_EQ(doc.at("program").as_string(), "bs.pub");
   EXPECT_EQ(doc.at("spec").at("mode").as_string(), "pub_tac");
   EXPECT_EQ(doc.at("spec").at("suite").as_string(), "bs");

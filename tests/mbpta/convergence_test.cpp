@@ -4,6 +4,10 @@
 
 #include <cmath>
 
+#include "ir/interp.hpp"
+#include "mbpta/pwcet.hpp"
+#include "platform/campaign.hpp"
+#include "suite/malardalen.hpp"
 #include "util/rng.hpp"
 
 namespace mbcr::mbpta {
@@ -119,6 +123,118 @@ TEST(Convergence, StreamSamplerExhaustionStops) {
       },
       cfg);
   EXPECT_LE(res.sample.size(), cap);
+}
+
+TEST(Convergence, ExhaustedBeforeMinRunsTerminates) {
+  // A sampler that dries up below min_runs must still terminate: the
+  // driver keeps probing the frozen sample, whose constant estimates fill
+  // the stability window.
+  ConvergenceConfig cfg;  // min_runs = 300
+  const std::size_t cap = 150;
+  const ConvergenceResult res = converge_stream(
+      [cap](std::vector<double>& sample, std::size_t k) {
+        const std::size_t room = sample.size() < cap ? cap - sample.size() : 0;
+        sample.resize(sample.size() + std::min(k, room), 700.0);
+      },
+      cfg);
+  EXPECT_EQ(res.sample.size(), cap);
+  EXPECT_EQ(res.runs, cap);
+  EXPECT_TRUE(res.converged);  // frozen sample -> frozen estimates
+  EXPECT_GE(res.estimates.size(), cfg.window);
+}
+
+TEST(Convergence, MaxRunsBoundaryIsInclusive) {
+  // max_runs == a growth-step landing point: that final sample IS probed
+  // (the loop bound is inclusive), and the next step breaks out with
+  // converged = false when estimates keep moving.
+  auto state = std::make_shared<double>(0.0);
+  ConvergenceConfig cfg;
+  cfg.max_runs = 400;  // min 300, first step +100 lands exactly on it
+  const ConvergenceResult res = converge(
+      [state](std::size_t k) {
+        std::vector<double> out;
+        for (std::size_t i = 0; i < k; ++i) {
+          *state += 1.0;
+          out.push_back(*state);
+        }
+        return out;
+      },
+      cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.sample.size(), 400u);
+  EXPECT_EQ(res.runs, 400u);
+  EXPECT_EQ(res.estimates.size(), 2u);  // probed at 300 and at 400
+}
+
+TEST(Convergence, NoConvergenceBeforeWindowFills) {
+  // Even perfectly constant estimates cannot satisfy a window they have
+  // not filled: with window = 8, at least 8 probes must happen.
+  ConvergenceConfig cfg;
+  cfg.window = 8;
+  const ConvergenceResult res = converge(
+      [](std::size_t k) { return std::vector<double>(k, 500.0); }, cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.estimates.size(), 8u);
+  EXPECT_EQ(res.runs, res.sample.size());
+}
+
+TEST(Convergence, WindowToleranceGovernsStability) {
+  // Identical noisy sampler, window judged at two tolerances: a generous
+  // band converges, a (near-)zero band never does.
+  ConvergenceConfig loose;
+  loose.tolerance = 10.0;
+  loose.max_runs = 50000;
+  ConvergenceConfig zero;
+  zero.tolerance = 1e-12;
+  zero.max_runs = 5000;
+  const ConvergenceResult rl = converge(exponential_sampler(0.05, 21), loose);
+  const ConvergenceResult rz = converge(exponential_sampler(0.05, 21), zero);
+  EXPECT_TRUE(rl.converged);
+  EXPECT_EQ(rl.estimates.size(), loose.window);  // stable at first chance
+  EXPECT_FALSE(rz.converged);
+}
+
+TEST(Convergence, FinalEstimateMatchesFromScratchRefit) {
+  // The incremental sorted-merge probe must equal a full PwcetCurve fit
+  // of the final sample, bit for bit.
+  ConvergenceConfig cfg;
+  const ConvergenceResult res = converge(exponential_sampler(0.05, 33), cfg);
+  ASSERT_TRUE(res.converged);
+  ASSERT_FALSE(res.estimates.empty());
+  const PwcetCurve full(res.sample, cfg.evt);
+  EXPECT_EQ(res.estimates.back(), full.at(cfg.probability));
+}
+
+TEST(Convergence, BatchedAndUnbatchedCampaignsConvergeIdentically) {
+  // End-to-end equivalence on the real platform: the same campaign seed
+  // driven through converge_stream with batched (trace-major) and
+  // unbatched replay must walk the identical schedule — same runs, same
+  // estimates, same sample. crc keeps the trace above the engine's
+  // tiny-trace fallback so the batched arm really batches.
+  const auto b = suite::make_benchmark("crc");
+  const CompactTrace trace = CompactTrace::from(
+      ir::lower_and_execute(b.program, b.default_input).trace);
+  ASSERT_GE(trace.size(), platform::kBatchMinTraceEntries);
+  const platform::Machine machine;
+  ConvergenceConfig cfg;
+  cfg.max_runs = 20000;
+
+  const auto converge_with_batch = [&](std::size_t batch) {
+    platform::CampaignConfig ccfg;
+    ccfg.batch = batch;
+    platform::CampaignSampler sampler(machine, trace, ccfg);
+    return converge_stream(
+        [&sampler](std::vector<double>& sample, std::size_t k) {
+          sampler.append_to(sample, k);
+        },
+        cfg);
+  };
+  const ConvergenceResult unbatched = converge_with_batch(1);
+  const ConvergenceResult batched = converge_with_batch(32);
+  EXPECT_EQ(unbatched.converged, batched.converged);
+  EXPECT_EQ(unbatched.runs, batched.runs);
+  EXPECT_EQ(unbatched.estimates, batched.estimates);
+  EXPECT_EQ(unbatched.sample, batched.sample);
 }
 
 TEST(Convergence, TighterToleranceNeedsMoreRuns) {

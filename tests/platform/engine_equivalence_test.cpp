@@ -122,6 +122,115 @@ TEST(EngineEquivalence, ModuloPlacementReplayMatchesReference) {
   }
 }
 
+TEST(EngineEquivalence, RunBatchMatchesRunOnceAcrossPoliciesGeometriesSeeds) {
+  // The trace-major batched replay must agree with per-seed run_once bit
+  // for bit: single-level and both L2 policies, hash and modulo
+  // placement, odd geometries, several batch widths (including partial
+  // and width-1 batches), one workspace reused throughout.
+  const TestWorkload w = test_workload("janne");
+  std::vector<MachineConfig> configs;
+  configs.emplace_back();  // paper single-level default
+  {
+    MachineConfig odd;  // direct-mapped IL1, fully associative DL1
+    odd.il1 = CacheConfig{256, 1, 32};
+    odd.dl1 = CacheConfig{1, 4, 32};
+    configs.push_back(odd);
+  }
+  for (const L2Policy policy : {L2Policy::kRandom, L2Policy::kLru}) {
+    MachineConfig cfg;
+    cfg.l2.enabled = true;
+    cfg.l2.policy = policy;
+    configs.push_back(cfg);
+    cfg.il1.placement = Placement::kModulo;
+    cfg.dl1.placement = Placement::kModulo;
+    cfg.l2.l2 = CacheConfig{64, 4, 32};
+    cfg.l2.l2.placement = Placement::kModulo;
+    configs.push_back(cfg);
+  }
+
+  RunWorkspace ws;  // reused across every machine and width
+  for (const MachineConfig& cfg : configs) {
+    const Machine machine(cfg);
+    for (const std::size_t width : {1u, 2u, 5u, 32u, 33u}) {
+      std::vector<std::uint64_t> seeds(width);
+      for (std::size_t i = 0; i < width; ++i) {
+        seeds[i] = mix64(1000 + i, 0xabcdef);  // arbitrary, non-consecutive
+      }
+      std::vector<std::uint64_t> batched(width);
+      machine.run_batch(w.trace, seeds, ws, batched.data());
+      for (std::size_t i = 0; i < width; ++i) {
+        EXPECT_EQ(batched[i], machine.run_once(w.trace, seeds[i]))
+            << "l2 " << (cfg.l2.enabled ? to_string(cfg.l2.policy) : "off")
+            << " il1 " << cfg.il1.sets << "x" << cfg.il1.ways << " width "
+            << width << " run " << i;
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, RunBatchMatchesReferenceOracle) {
+  // Transitively pinned via run_once, but hold the batched replay to the
+  // generic-cache oracle directly too.
+  const TestWorkload w = test_workload();
+  MachineConfig cfg;
+  cfg.l2 = HierarchyConfig::shared_l2_random();
+  const Machine machine(cfg);
+  RunWorkspace ws;
+  std::vector<std::uint64_t> seeds(16);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  std::vector<std::uint64_t> batched(seeds.size());
+  machine.run_batch(w.trace, seeds, ws, batched.data());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(batched[i], machine.run_once_reference(w.mem, seeds[i]))
+        << "seed " << seeds[i];
+  }
+}
+
+TEST(EngineEquivalence, CampaignInvariantUnderBatchWidth) {
+  // The batch width is a pure throughput knob: any width (and any
+  // batch/grain interplay, including grain < batch) produces the
+  // identical sample. crc: long enough to clear the engine's
+  // tiny-trace per-run fallback, so batching really runs.
+  const TestWorkload w = test_workload("crc");
+  ASSERT_GE(w.trace.size(), kBatchMinTraceEntries);
+  MachineConfig mcfg;
+  mcfg.l2 = HierarchyConfig::shared_l2_random();
+  const Machine machine(mcfg);
+  CampaignConfig unbatched;
+  unbatched.batch = 1;
+  const std::vector<double> want =
+      run_campaign(machine, w.trace, 1000, unbatched);
+  for (const std::size_t batch : {2u, 7u, 32u, 500u, 5000u}) {
+    for (const std::size_t grain : {5u, 64u, 1024u}) {
+      CampaignConfig cfg;
+      cfg.batch = batch;
+      cfg.grain = grain;
+      EXPECT_EQ(run_campaign(machine, w.trace, 1000, cfg), want)
+          << "batch " << batch << " grain " << grain;
+    }
+  }
+}
+
+TEST(EngineEquivalence, BatchedCampaignInvariantUnderThreadCount) {
+  const TestWorkload w = test_workload("crc");  // above the batch fallback
+  const Machine machine;
+  CampaignConfig cfg;
+  cfg.grain = 48;  // not a batch multiple: every chunk ends on a partial batch
+  cfg.batch = 32;
+  std::vector<double> baseline;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> times(2000);
+    run_campaign_into(machine, w.trace, times.size(), times.data(), cfg, 0,
+                      &pool);
+    if (baseline.empty()) {
+      baseline = times;
+    } else {
+      EXPECT_EQ(baseline, times) << "threads " << threads;
+    }
+  }
+}
+
 TEST(EngineEquivalence, DisabledL2IsBitIdenticalToSingleLevelMachine) {
   // A configured-but-disabled hierarchy must not perturb a single sample.
   const TestWorkload w = test_workload();
