@@ -405,7 +405,7 @@ StudySpec StudySpec::from_flags(
       parse_double("pwcet-prob", get("pwcet-prob"));
 
   spec.measure_runs = static_cast<std::size_t>(parse_u64("runs", get("runs")));
-  spec.measure_pub = truthy(get("measure-pub"));
+  spec.measure_pub = parse_bool("measure-pub", get("measure-pub"));
   spec.curve_max_exp =
       static_cast<int>(parse_u64("curve-exp", get("curve-exp")));
 
@@ -418,7 +418,7 @@ StudySpec StudySpec::from_flags(
     throw std::invalid_argument("flag --pub-merge: expected scs|append, got '" +
                                 merge + "'");
   }
-  spec.config.pub.pad_loops = truthy(get("pad-loops"));
+  spec.config.pub.pad_loops = parse_bool("pad-loops", get("pad-loops"));
   return spec;
 }
 

@@ -1,0 +1,13 @@
+#include "fuzz/fault.hpp"
+
+namespace mbcr::fuzz {
+
+namespace {
+bool g_armed = true;
+}  // namespace
+
+bool fault_enabled() { return fault_compiled_in() && g_armed; }
+
+void set_fault_enabled(bool enabled) { g_armed = enabled; }
+
+}  // namespace mbcr::fuzz

@@ -1,0 +1,359 @@
+#include "fuzz/oracles.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/study.hpp"
+#include "ir/interp.hpp"
+#include "platform/campaign.hpp"
+#include "pub/pub_transform.hpp"
+#include "pub/verify.hpp"
+#include "tac/runs.hpp"
+#include "util/json.hpp"
+
+namespace mbcr::fuzz {
+
+namespace {
+
+std::string flavor_name(const platform::MachineConfig& cfg) {
+  std::string name = cfg.l2.enabled
+                         ? (cfg.l2.policy == L2Policy::kRandom ? "l2-random"
+                                                               : "l2-lru")
+                         : "l1-only";
+  name += "/";
+  name += to_string(cfg.il1.placement);
+  return name;
+}
+
+/// One functional execution per input, shared by the replay-family checks.
+struct InputTrace {
+  const ir::InputVector* input;
+  ir::ExecResult exec;
+  CompactTrace compact;
+};
+
+std::vector<InputTrace> trace_inputs(const FuzzCaseData& data) {
+  std::vector<InputTrace> out;
+  out.reserve(data.inputs.size());
+  for (const ir::InputVector& in : data.inputs) {
+    InputTrace t;
+    t.input = &in;
+    t.exec = ir::lower_and_execute(data.program, in);
+    t.compact = CompactTrace::from(t.exec.trace);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+OracleOutcome fail(std::string detail) { return {false, std::move(detail)}; }
+
+// --- oracle 1: fast replay == generic-cache reference ---------------------
+
+OracleOutcome oracle_replay(const FuzzCaseData& data, bool inject_fault) {
+  const std::vector<InputTrace> traced = trace_inputs(data);
+  for (const platform::MachineConfig& cfg : flavor_grid(data.machine)) {
+    const platform::Machine machine(cfg);
+    for (const InputTrace& t : traced) {
+      for (const std::uint64_t seed : data.run_seeds) {
+        std::uint64_t fast = machine.run_once(t.compact, seed);
+        if (inject_fault) fast += 1;  // harness self-test perturbation
+        const std::uint64_t ref = machine.run_once_reference(t.exec.trace, seed);
+        if (fast != ref) {
+          std::ostringstream ss;
+          ss << "input " << t.input->label << " flavor " << flavor_name(cfg)
+             << " seed " << seed << ": run_once " << fast << " != reference "
+             << ref;
+          return fail(ss.str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
+// --- oracle 2: run_batch == per-seed run_once -----------------------------
+
+OracleOutcome oracle_batch(const FuzzCaseData& data, bool) {
+  const std::vector<InputTrace> traced = trace_inputs(data);
+  platform::RunWorkspace ws;  // one workspace, reused across everything
+  std::vector<std::uint64_t> batched;
+  for (const platform::MachineConfig& cfg : flavor_grid(data.machine)) {
+    const platform::Machine machine(cfg);
+    for (const InputTrace& t : traced) {
+      for (std::size_t width : {std::size_t{1}, std::size_t{3},
+                                data.run_seeds.size()}) {
+        width = std::min(width, data.run_seeds.size());
+        if (width == 0) continue;
+        const std::span<const std::uint64_t> seeds(data.run_seeds.data(),
+                                                   width);
+        batched.assign(width, 0);
+        machine.run_batch(t.compact, seeds, ws, batched.data());
+        for (std::size_t i = 0; i < width; ++i) {
+          const std::uint64_t single = machine.run_once(t.compact, seeds[i]);
+          if (batched[i] != single) {
+            std::ostringstream ss;
+            ss << "input " << t.input->label << " flavor " << flavor_name(cfg)
+               << " width " << width << " run " << i << ": run_batch "
+               << batched[i] << " != run_once " << single;
+            return fail(ss.str());
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+// --- oracle 3: streamed == one-shot, engine knobs are pure ----------------
+
+OracleOutcome oracle_campaign(const FuzzCaseData& data, bool) {
+  const std::vector<InputTrace> traced = trace_inputs(data);
+  const std::vector<platform::MachineConfig> grid = flavor_grid(data.machine);
+  constexpr std::size_t kRuns = 96;
+  // L1-only and random-L2 hash flavors: one per replay loop family.
+  for (const platform::MachineConfig& mcfg : {grid[0], grid[1]}) {
+    const platform::Machine machine(mcfg);
+    for (const InputTrace& t : traced) {
+      platform::CampaignConfig base;
+      base.master_seed = data.case_seed;
+      const std::vector<double> want =
+          platform::run_campaign(machine, t.compact, kRuns, base);
+
+      platform::CampaignSampler sampler(machine, t.compact, base);
+      std::vector<double> streamed;
+      for (const std::size_t chunk : {1, 7, 25, 63}) {
+        sampler.append_to(streamed, chunk);
+      }
+      if (streamed != want) {
+        return fail("input " + t.input->label + " flavor " +
+                    flavor_name(mcfg) + ": streamed campaign != one-shot");
+      }
+
+      struct Variant {
+        const char* what;
+        unsigned threads;
+        std::size_t grain, batch;
+      };
+      for (const Variant& v :
+           {Variant{"threads=1", 1, 64, 32}, Variant{"grain=5", 0, 5, 32},
+            Variant{"batch=1", 0, 64, 1}, Variant{"batch=16/grain=48", 0, 48,
+                                                  16}}) {
+        platform::CampaignConfig cfg = base;
+        cfg.threads = v.threads;
+        cfg.grain = v.grain;
+        cfg.batch = v.batch;
+        if (platform::run_campaign(machine, t.compact, kRuns, cfg) != want) {
+          return fail("input " + t.input->label + " flavor " +
+                      flavor_name(mcfg) + ": campaign not invariant under " +
+                      v.what);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+// --- oracle 4: PUB subsequence invariant on every pubbed path -------------
+
+OracleOutcome oracle_pub(const FuzzCaseData& data, bool) {
+  const ir::Program pubbed = pub::apply_pub(data.program);
+  for (const ir::InputVector& in : data.inputs) {
+    const pub::PubCheckResult res =
+        pub::check_pub_invariants(data.program, pubbed, in);
+    if (!res.tokens_are_subsequence) {
+      return fail("input " + in.label +
+                  ": original tokens not a subsequence of pubbed tokens (" +
+                  res.detail + ")");
+    }
+    if (!res.state_preserved) {
+      return fail("input " + in.label +
+                  ": pubbed program changed architectural state (" +
+                  res.detail + ")");
+    }
+  }
+  return {};
+}
+
+// --- oracle 5: TAC sanity + architectural-ceiling conservatism ------------
+
+/// Empty string = the side's events are sane.
+std::string check_tac_events(const tac::TacSequenceResult& side,
+                             const char* which, const tac::TacConfig& cfg) {
+  for (const tac::TacEvent& ev : side.events) {
+    if (!(ev.probability > 0.0 && ev.probability <= 1.0)) {
+      return std::string(which) + ": event probability out of (0, 1]";
+    }
+    if (ev.required_runs < 1 || ev.required_runs > cfg.max_runs_cap) {
+      return std::string(which) + ": event required_runs outside [1, cap]";
+    }
+    if (side.required_runs < ev.required_runs) {
+      return std::string(which) + ": side required_runs below an event's";
+    }
+  }
+  return {};
+}
+
+OracleOutcome oracle_tac(const FuzzCaseData& data, bool) {
+  const std::vector<InputTrace> traced = trace_inputs(data);
+  const std::vector<platform::MachineConfig> grid = flavor_grid(data.machine);
+  const tac::TacConfig tac_cfg;  // the paper's defaults
+  const double mem_latency =
+      static_cast<double>(data.machine.timing.mem_latency);
+
+  // TAC's conflict-group enumeration is exponential in associativity
+  // (group size k = W+1): the analysis geometry clamps to the paper's
+  // 2-way platform so every case stays polynomial. The replay-conservatism
+  // check below still uses the case's real geometry.
+  const auto clamp_ways = [](CacheConfig cfg) {
+    cfg.ways = std::min<std::uint32_t>(cfg.ways, 2);
+    return cfg;
+  };
+  const CacheConfig tac_il1 = clamp_ways(grid[0].il1);
+  const CacheConfig tac_dl1 = clamp_ways(grid[0].dl1);
+
+  for (const InputTrace& t : traced) {
+    // A cheap probe campaign anchors TAC's relative impact threshold, like
+    // the analyzer's (exact value is irrelevant to the invariants checked).
+    const platform::Machine probe_machine(grid[0]);
+    platform::CampaignConfig probe_cfg;
+    probe_cfg.master_seed = data.case_seed;
+    const std::vector<double> probe =
+        platform::run_campaign(probe_machine, t.compact, 16, probe_cfg);
+    double baseline = 0;
+    for (const double x : probe) baseline += x;
+    baseline /= static_cast<double>(probe.size());
+
+    // TAC must analyze cleanly both without and with a random L2.
+    for (const bool with_l2 : {false, true}) {
+      HierarchyConfig l2 = data.machine.l2;
+      l2.enabled = with_l2;
+      l2.policy = L2Policy::kRandom;
+      l2.l2 = clamp_ways(l2.l2);
+      const tac::TacTraceResult res =
+          tac::analyze_trace(t.exec.trace, tac_il1, tac_dl1, baseline,
+                             mem_latency, tac_cfg, l2);
+      const std::pair<const tac::TacSequenceResult*, const char*> sides[] = {
+          {&res.il1, "il1"}, {&res.dl1, "dl1"}, {&res.l2, "l2"}};
+      for (const auto& [side, which] : sides) {
+        const std::string detail = check_tac_events(*side, which, tac_cfg);
+        if (!detail.empty()) {
+          return fail("input " + t.input->label + " (l2=" +
+                      (with_l2 ? "random" : "off") + ") " + detail);
+        }
+      }
+      const std::size_t side_max = std::max(
+          {res.il1.required_runs, res.dl1.required_runs, res.l2.required_runs});
+      if (res.required_runs < side_max) {
+        return fail("input " + t.input->label +
+                    ": trace required_runs below a side's");
+      }
+    }
+
+    // Conservatism: the all-miss architectural ceiling (the analyzer's
+    // pWCET clamp) must upper-bound every latency the platform can
+    // actually produce, for every flavor and sampled seed.
+    for (const platform::MachineConfig& cfg : grid) {
+      const platform::Machine machine(cfg);
+      const std::uint64_t worst_extra = cfg.l2.enabled ? cfg.l2.latency : 0;
+      std::uint64_t ceiling = 0;
+      for (const CompactTrace::Entry& e : t.compact.entries) {
+        ceiling += machine.config().timing.cost(
+                       e.is_instr ? AccessKind::kIFetch : AccessKind::kLoad,
+                       /*hit=*/false) +
+                   worst_extra;
+      }
+      for (const std::uint64_t seed : data.run_seeds) {
+        const std::uint64_t observed = machine.run_once(t.compact, seed);
+        if (observed > ceiling) {
+          std::ostringstream ss;
+          ss << "input " << t.input->label << " flavor " << flavor_name(cfg)
+             << " seed " << seed << ": observed latency " << observed
+             << " exceeds the all-miss ceiling " << ceiling;
+          return fail(ss.str());
+        }
+      }
+    }
+  }
+  return {};
+}
+
+// --- oracle 6: Study JSON round trips are text-identical ------------------
+
+OracleOutcome oracle_study_json(const FuzzCaseData& data, bool) {
+  core::StudySpec spec;
+  spec.randprog_seed = data.case_seed;
+  spec.mode = core::StudyMode::kMeasure;
+  spec.measure_runs = std::max<std::size_t>(4, data.run_seeds.size());
+  spec.config.machine = data.machine;
+  spec.config.machine.l2.enabled = true;  // exercise the v2+ l2 surface
+  spec.config.machine.l2.policy = L2Policy::kRandom;
+  spec.config.campaign.master_seed = data.case_seed;
+
+  const std::string spec_text = spec.to_json().dump(2);
+  const core::StudySpec reread =
+      core::StudySpec::from_json(json::parse(spec_text));
+  if (reread.to_json().dump(2) != spec_text) {
+    return fail("StudySpec JSON round trip is not text-identical");
+  }
+
+  const core::StudyResult result = core::run_study(spec);
+  const std::string doc_text = result.to_json().dump(2);
+  const json::Value reparsed = json::parse(doc_text);
+  if (reparsed.dump(2) != doc_text) {
+    return fail("StudyResult document does not re-serialize identically");
+  }
+  // A result document is a replayable work unit: the spec it carries must
+  // read back to the exact same spec text.
+  if (core::StudySpec::from_json(reparsed).to_json().dump(2) != spec_text) {
+    return fail("spec extracted from the result document differs");
+  }
+  return {};
+}
+
+constexpr Oracle kOracles[] = {
+    {"replay", "fast run_once == generic-cache reference across the "
+               "hierarchy-flavor grid",
+     oracle_replay},
+    {"batch", "run_batch == per-seed run_once at several widths",
+     oracle_batch},
+    {"campaign", "streamed == one-shot; threads/grain/batch are pure knobs",
+     oracle_campaign},
+    {"pub", "PUB subsequence + state preservation on every input",
+     oracle_pub},
+    {"tac", "TAC event sanity and all-miss ceiling conservatism",
+     oracle_tac},
+    {"study_json", "StudySpec/StudyResult JSON round-trip text identity",
+     oracle_study_json},
+};
+
+}  // namespace
+
+std::span<const Oracle> all_oracles() { return kOracles; }
+
+const Oracle* find_oracle(std::string_view name) {
+  for (const Oracle& o : kOracles) {
+    if (name == o.name) return &o;
+  }
+  return nullptr;
+}
+
+std::vector<platform::MachineConfig> flavor_grid(
+    const platform::MachineConfig& base) {
+  std::vector<platform::MachineConfig> out;
+  for (const Placement placement : {Placement::kHash, Placement::kModulo}) {
+    platform::MachineConfig cfg = base;
+    cfg.il1.placement = placement;
+    cfg.dl1.placement = placement;
+    cfg.l2.l2.placement = placement;
+    cfg.l2.enabled = false;
+    out.push_back(cfg);
+    cfg.l2.enabled = true;
+    cfg.l2.policy = L2Policy::kRandom;
+    out.push_back(cfg);
+    cfg.l2.policy = L2Policy::kLru;
+    out.push_back(cfg);
+  }
+  return out;
+}
+
+}  // namespace mbcr::fuzz

@@ -1,0 +1,45 @@
+// Self-contained fuzz repro documents (schema `mbcr-fuzz-repro-v1`).
+//
+// A repro carries everything needed to re-run a (possibly shrunk) fuzz
+// case against its oracle with zero dependence on `ir/randprog`: the full
+// IR program (statement/expression trees serialized structurally), the
+// input vectors, the platform run seeds and the base machine geometry.
+// That independence is the corpus policy — a committed repro keeps
+// replaying the exact failing computation even after the generator, its
+// config or its RNG mapping change.
+//
+// `tests/fuzz_corpus/` replays every committed repro as a gtest case;
+// `mbcr fuzz --replay FILE` does the same from the command line.
+#pragma once
+
+#include <string>
+
+#include "fuzz/fuzz.hpp"
+#include "fuzz/oracles.hpp"
+#include "util/json.hpp"
+
+namespace mbcr::fuzz {
+
+struct Repro {
+  std::string oracle = "all";  ///< oracle name, or "all"
+  std::string detail;          ///< what failed when the repro was minted
+  FuzzCaseData data;
+};
+
+json::Value repro_to_json(const Repro& repro);
+
+/// Rebuilds a repro, validating the embedded program. Throws
+/// std::invalid_argument / std::runtime_error on malformed documents.
+Repro repro_from_json(const json::Value& doc);
+
+/// File convenience wrappers (JSON, 2-space indent). `save_repro` throws
+/// std::runtime_error when the path cannot be written.
+void save_repro(const Repro& repro, const std::string& path);
+Repro load_repro(const std::string& path);
+
+/// Replays a repro against its oracle (or all oracles for "all"); the
+/// corpus suite's and `mbcr fuzz --replay`'s entry point. Throws
+/// std::invalid_argument when the repro names an unknown oracle.
+OracleOutcome run_repro(const Repro& repro);
+
+}  // namespace mbcr::fuzz

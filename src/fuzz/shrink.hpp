@@ -1,0 +1,39 @@
+// Greedy failure minimization for fuzz cases.
+//
+// Given a case that fails an oracle, the shrinker repeatedly proposes
+// strictly-smaller candidates and keeps any candidate that still fails the
+// same oracle, until no proposal is accepted (or the evaluation budget is
+// spent). Passes, cheapest first:
+//
+//   * drop input vectors / run seeds beyond the ones needed to fail
+//   * delete one statement from any sequence
+//   * hoist a compound statement's body over the compound (if -> then
+//     branch, for -> init + one body execution, while/ghost -> body)
+//   * halve a for loop's trip count (constant-init, unit-step loops)
+//   * drop an array entirely (loads become 0, stores become nops)
+//   * halve one cache-geometry dimension (sets/ways, per level)
+//
+// Candidates that throw (a shrink can make a program trip the
+// interpreter's guards) are rejected — the shrunk case always reproduces
+// the *original* oracle failure, not a new crash.
+#pragma once
+
+#include "fuzz/fuzz.hpp"
+#include "fuzz/oracles.hpp"
+
+namespace mbcr::fuzz {
+
+struct ShrinkStats {
+  std::size_t accepted = 0;   ///< candidates that kept the failure
+  std::size_t evaluated = 0;  ///< oracle evaluations spent
+};
+
+/// Minimizes `failing` against `oracle`. `inject_fault` is threaded through
+/// to the oracle (harness self-test). Returns the smallest still-failing
+/// case found within `max_evaluations`.
+FuzzCaseData shrink_case(const FuzzCaseData& failing, const Oracle& oracle,
+                         bool inject_fault,
+                         std::size_t max_evaluations = 600,
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace mbcr::fuzz

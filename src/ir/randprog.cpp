@@ -1,9 +1,44 @@
 #include "ir/randprog.hpp"
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace mbcr::ir {
+
+void RandProgConfig::validate() const {
+  if (array_size == 0 || (array_size & (array_size - 1)) != 0) {
+    throw std::invalid_argument(
+        "randprog: array_size must be a non-zero power of two (index "
+        "expressions are masked with size-1), got " +
+        std::to_string(array_size));
+  }
+  if (n_arrays < 1) {
+    throw std::invalid_argument("randprog: need at least one array");
+  }
+  if (n_scalars < 1) {
+    throw std::invalid_argument("randprog: need at least one scalar");
+  }
+  if (n_inputs < 0 || n_inputs > n_scalars) {
+    throw std::invalid_argument(
+        "randprog: n_inputs must be in [0, n_scalars]");
+  }
+  if (max_depth < 0 || max_depth > 16) {
+    throw std::invalid_argument("randprog: max_depth must be in [0, 16]");
+  }
+  if (max_block_stmts < 1) {
+    throw std::invalid_argument(
+        "randprog: blocks need at least one statement");
+  }
+  if (max_loop_trips < 2) {
+    throw std::invalid_argument(
+        "randprog: max_loop_trips must be at least 2");
+  }
+  if (!(scalar_alias_prob >= 0.0 && scalar_alias_prob <= 1.0)) {
+    throw std::invalid_argument(
+        "randprog: scalar_alias_prob must be in [0, 1]");
+  }
+}
 
 namespace {
 
@@ -82,9 +117,29 @@ private:
     return bin(kCmp[rng_.uniform(5)], rand_expr(depth), rand_expr(depth));
   }
 
+  /// Assignment target: usually a data scalar, but with
+  /// `scalar_alias_prob` an *inactive* loop counter — counters are
+  /// re-initialized at loop entry, so aliasing them never breaks bounds.
+  std::string rand_assign_target() {
+    if (cfg_.scalar_alias_prob > 0.0 &&
+        rng_.uniform01() < cfg_.scalar_alias_prob) {
+      std::vector<std::string> inactive;
+      for (const std::string& iv : loop_vars_) {
+        bool active = false;
+        for (const std::string& a : active_loops_) active |= (a == iv);
+        if (!active) inactive.push_back(iv);
+      }
+      if (!inactive.empty()) {
+        return inactive[rng_.uniform(
+            static_cast<std::uint32_t>(inactive.size()))];
+      }
+    }
+    return rand_scalar();
+  }
+
   StmtPtr rand_leaf() {
     if (rng_.uniform(2) == 0) {
-      return assign(rand_scalar(), rand_expr(2));
+      return assign(rand_assign_target(), rand_expr(2));
     }
     return store(rand_array(), rand_index(1), rand_expr(2));
   }
@@ -138,12 +193,14 @@ private:
 }  // namespace
 
 Program random_program(Xoshiro256& rng, const RandProgConfig& config) {
+  config.validate();
   Generator gen(rng, config);
   return gen.build();
 }
 
 InputVector random_input(const Program& program, Xoshiro256& rng,
                          const RandProgConfig& config) {
+  config.validate();
   InputVector in;
   in.label = "rand";
   for (int i = 0; i < config.n_inputs && i < config.n_scalars; ++i) {

@@ -3,7 +3,8 @@
 // Generates bounded, terminating multipath programs whose branches and loop
 // trip counts depend on input scalars. Used to fuzz the PUB invariant
 // (every original path's access trace is a subsequence of every pubbed
-// path's trace) far beyond the hand-written suite.
+// path's trace) far beyond the hand-written suite, and by the differential
+// fuzzing harness (src/fuzz) as its program source.
 #pragma once
 
 #include <cstdint>
@@ -14,20 +15,36 @@
 namespace mbcr::ir {
 
 struct RandProgConfig {
-  int max_depth = 3;          ///< nesting of if/for
+  int max_depth = 3;          ///< nesting of if/for (also loop-nest depth)
   int max_block_stmts = 4;    ///< statements per block
   int n_arrays = 2;
   std::size_t array_size = 16;  ///< power of two (indices are masked)
-  int n_scalars = 4;            ///< s0..s{n-1}; s0, s1 are inputs
+  int n_scalars = 4;            ///< s0..s{n-1}; the first n_inputs are inputs
   int n_inputs = 2;
   std::uint64_t max_loop_trips = 6;
+  /// Probability that a generated assignment targets an *inactive* loop
+  /// counter instead of a data scalar — aliasing data flow onto the
+  /// counters. Counters are re-initialized at loop entry, so this never
+  /// breaks loop bounds, but it does create programs where the same
+  /// register carries both control and data roles.
+  double scalar_alias_prob = 0.0;
+
+  /// Throws std::invalid_argument on an unusable configuration: zero or
+  /// non-power-of-two array size (the in-bounds masking relies on it),
+  /// no arrays/scalars, more inputs than scalars, zero-trip loops, an
+  /// out-of-range aliasing probability, or a non-positive depth/block
+  /// budget.
+  void validate() const;
 };
 
-/// Builds a random valid program. Deterministic in `rng` state.
+/// Builds a random valid program. Deterministic in `rng` state: the same
+/// seed always yields the byte-identical program (see ir/printer).
+/// Validates `config` first.
 Program random_program(Xoshiro256& rng, const RandProgConfig& config = {});
 
 /// Random input vector for a generated program (fills the input scalars
-/// with small values and arrays with random contents).
+/// with small values and arrays with random contents). Deterministic in
+/// `rng` state; validates `config` first.
 InputVector random_input(const Program& program, Xoshiro256& rng,
                          const RandProgConfig& config = {});
 

@@ -7,6 +7,10 @@
 #include "cache/random_cache.hpp"
 #include "util/rng.hpp"
 
+#ifdef MBCR_FUZZ_FAULT
+#include "fuzz/fault.hpp"
+#endif
+
 namespace mbcr::platform {
 
 namespace {
@@ -245,13 +249,26 @@ private:
 std::uint64_t replay_single_level(const CompactTrace& trace, FastSide& il1,
                                   FastSide& dl1, const TimingParams& t) {
   std::uint64_t cycles = 0;
+#ifdef MBCR_FUZZ_FAULT
+  // Deliberate bug (fuzz-harness self-test build only): the first DL1 miss
+  // of a run forgets its memory-latency penalty. See fuzz/fault.hpp.
+  bool fault_pending = fuzz::fault_enabled();
+#endif
   for (const CompactTrace::Entry& e : trace.entries) {
     if (e.is_instr) {
       cycles += t.issue_cycles;
       if (!il1.access(e.line_id)) cycles += t.mem_latency;
     } else {
       cycles += t.dl1_hit_cycles;
-      if (!dl1.access(e.line_id)) cycles += t.mem_latency;
+      if (!dl1.access(e.line_id)) {
+#ifdef MBCR_FUZZ_FAULT
+        if (fault_pending) {
+          fault_pending = false;
+          continue;
+        }
+#endif
+        cycles += t.mem_latency;
+      }
     }
   }
   return cycles;

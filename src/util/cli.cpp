@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace mbcr {
 
@@ -29,6 +30,22 @@ CliParse error(std::string message,
 
 bool truthy(const std::string& value) {
   return value == "1" || value == "true" || value == "yes";
+}
+
+bool parse_bool(const char* flag, const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  throw std::invalid_argument(std::string("flag --") + flag +
+                              ": expected a boolean "
+                              "(1|0|true|false|yes|no), got '" +
+                              value + "'");
+}
+
+void exit_usage_error(const std::string& program,
+                      const std::string& message) {
+  std::cerr << program << ": " << message << "\n"
+            << "Run '" << program << " --help' for usage.\n";
+  std::exit(2);
 }
 
 CliParse parse_flags(const std::vector<std::string>& args,
@@ -203,9 +220,7 @@ SubcommandCli::Parsed SubcommandCli::parse_or_exit(int argc,
     std::exit(0);
   }
   if (parsed.status == CliParse::Status::kError) {
-    std::cerr << program_ << ": " << parsed.error << "\n"
-              << "Run '" << program_ << " --help' for usage.\n";
-    std::exit(2);
+    exit_usage_error(program_, parsed.error);
   }
   return parsed;
 }

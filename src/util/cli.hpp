@@ -48,6 +48,19 @@ std::string usage_text(const std::string& description,
 /// "1"/"true"/"yes" => true; everything else false.
 bool truthy(const std::string& value);
 
+/// Strict boolean parsing for flag *values*: accepts 1/0/true/false/yes/no
+/// and throws std::invalid_argument otherwise. Use this (not `truthy`) when
+/// a silently-ignored typo would change an experiment.
+bool parse_bool(const char* flag, const std::string& value);
+
+/// The CLI usage-error exit path: prints `program: message` plus a help
+/// hint to stderr and exits 2 — the same contract as Cli/SubcommandCli
+/// parse errors. Front-ends route bad flag *values* (unknown enum
+/// spellings, malformed numbers) through this so they are indistinguishable
+/// from unknown flags: loud, on stderr, exit code 2.
+[[noreturn]] void exit_usage_error(const std::string& program,
+                                   const std::string& message);
+
 /// Parse-or-exit front-end for single-command binaries (benches, examples).
 class Cli {
 public:

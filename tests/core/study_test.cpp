@@ -119,6 +119,14 @@ TEST(StudySpec, FromFlagsRejectsBadValues) {
   flags = StudySpec::flag_spec();
   flags["tolerance"] = "inf";
   EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  // Boolean-valued flags are strict too: garbage must not silently read
+  // as false (the enum-flag audit, PR 5).
+  flags = StudySpec::flag_spec();
+  flags["measure-pub"] = "maybe";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["pad-loops"] = "2";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
 }
 
 TEST(StudySpec, FromFlagsParsesHierarchyAndPlacement) {

@@ -1,0 +1,66 @@
+// FuzzCorpus: replays every committed fuzz repro forever after.
+//
+// Corpus policy (see docs/architecture.md "Differential fuzzing"): when
+// the fuzzer finds and shrinks a failure, the minimized repro is committed
+// under tests/fuzz_corpus/corpus/ once the underlying bug is fixed. Each
+// document is fully self-contained (program, inputs, seeds, geometry), so
+// it keeps replaying the exact computation even as the generator evolves.
+// This suite fails if any committed repro regresses — or if the corpus
+// directory silently disappears.
+//
+// The MBCR_FUZZ_CORPUS environment variable points the suite at a
+// different corpus directory; the nightly fault-injection job uses it to
+// replay a freshly-shrunk repro inside the deliberately-broken build,
+// where this suite is EXPECTED to fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "fuzz/repro.hpp"
+
+namespace mbcr::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() {
+  const char* env = std::getenv("MBCR_FUZZ_CORPUS");
+  if (env && *env) return env;
+  return fs::path(MBCR_SOURCE_DIR) / "tests" / "fuzz_corpus" / "corpus";
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> out;
+  if (!fs::exists(corpus_dir())) return out;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(corpus_dir())) {
+    if (entry.path().extension() == ".json") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FuzzCorpus, CorpusIsPresent) {
+  ASSERT_TRUE(fs::exists(corpus_dir()))
+      << "corpus directory missing: " << corpus_dir();
+  EXPECT_FALSE(corpus_files().empty())
+      << "the seeded regression corpus must never be empty";
+}
+
+TEST(FuzzCorpus, EveryReproReplaysGreen) {
+  for (const fs::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    Repro repro;
+    ASSERT_NO_THROW(repro = load_repro(path.string()));
+    const OracleOutcome outcome = run_repro(repro);
+    EXPECT_TRUE(outcome.ok)
+        << path.filename().string() << " regressed: " << outcome.detail
+        << "\n(originally: " << repro.detail << ")";
+  }
+}
+
+}  // namespace
+}  // namespace mbcr::fuzz

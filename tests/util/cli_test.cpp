@@ -177,6 +177,30 @@ TEST(SubcommandCli, PositionalsAreNamedAndRequired) {
   EXPECT_NE(extra.error.find("b.json"), std::string::npos);
 }
 
+TEST(ParseBool, StrictBooleanValues) {
+  EXPECT_TRUE(parse_bool("x", "1"));
+  EXPECT_TRUE(parse_bool("x", "true"));
+  EXPECT_TRUE(parse_bool("x", "yes"));
+  EXPECT_FALSE(parse_bool("x", "0"));
+  EXPECT_FALSE(parse_bool("x", "false"));
+  EXPECT_FALSE(parse_bool("x", "no"));
+  // `truthy` reads garbage as false; parse_bool must refuse it instead.
+  EXPECT_FALSE(truthy("maybe"));
+  EXPECT_THROW(parse_bool("measure-pub", "maybe"), std::invalid_argument);
+  EXPECT_THROW(parse_bool("x", ""), std::invalid_argument);
+  EXPECT_THROW(parse_bool("x", "TRUE"), std::invalid_argument);
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, ExitUsageErrorPrintsToStderrAndExits2) {
+  // The shared usage-error path: bad enum flag values route through this
+  // so they behave exactly like unknown flags (stderr, exit 2).
+  EXPECT_EXIT(exit_usage_error("mbcr", "unknown L2 policy 'bogus'"),
+              ::testing::ExitedWithCode(2),
+              "mbcr: unknown L2 policy 'bogus'");
+}
+
 TEST(SubcommandCli, UsageListsCommands) {
   const auto cli = make_cli();
   const std::string usage = cli.usage();

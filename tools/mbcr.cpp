@@ -12,6 +12,8 @@
 //   mbcr list                                         # suite registry
 //   mbcr analyze --suite bs --json bs.json && mbcr report bs.json
 //   mbcr analyze --spec bs.json                       # replay a saved spec
+//   mbcr fuzz --programs 50 --seeds 8 --rng-seed 1    # differential fuzzing
+//   mbcr fuzz --replay tests/fuzz_corpus/corpus/x.json  # replay one repro
 //
 // All subcommands accept the StudySpec flag surface (see `mbcr analyze
 // --help`); results can be emitted as JSON (--json FILE) and CSV
@@ -25,6 +27,9 @@
 
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/oracles.hpp"
+#include "fuzz/repro.hpp"
 #include "suite/malardalen.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -147,6 +152,49 @@ int cmd_list() {
   return 0;
 }
 
+int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
+  if (const std::string& path = cmd.str("replay"); !path.empty()) {
+    const fuzz::Repro repro = fuzz::load_repro(path);
+    const fuzz::OracleOutcome outcome = fuzz::run_repro(repro);
+    if (outcome.ok) {
+      std::cout << "repro " << path << " (oracle " << repro.oracle
+                << "): PASS\n";
+      return 0;
+    }
+    std::cerr << "repro " << path << " FAILED: " << outcome.detail << "\n";
+    return 1;
+  }
+
+  fuzz::FuzzConfig cfg;
+  cfg.programs = static_cast<std::size_t>(cmd.integer("programs"));
+  cfg.seeds = static_cast<std::size_t>(cmd.integer("seeds"));
+  cfg.time_budget_s = cmd.real("time-budget");
+  cfg.rng_seed = static_cast<std::uint64_t>(cmd.integer("rng-seed"));
+  cfg.oracle = cmd.str("oracle");
+  cfg.corpus_dir = cmd.str("corpus");
+  cfg.shrink = parse_bool("shrink", cmd.str("shrink"));
+  cfg.log = &std::cerr;
+
+  // run_fuzz validates the config (unknown --oracle names included)
+  // before any case runs; its invalid_argument reaches main's
+  // usage-error path (stderr, exit 2).
+  const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
+  std::cout << "fuzz: " << report.cases_run << " program(s) x " << cfg.seeds
+            << " seed(s), " << report.oracle_runs << " oracle run(s): "
+            << (report.ok() ? "all passed"
+                            : std::to_string(report.failures.size()) +
+                                  " FAILURE(S)")
+            << "\n";
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    std::cout << "  case " << f.case_index << " oracle " << f.oracle << ": "
+              << f.detail << "\n";
+    if (!f.repro_path.empty()) {
+      std::cout << "    repro: " << f.repro_path << "\n";
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_report(const SubcommandCli::Parsed& cmd) {
   const std::string& path = cmd.str("file");
   std::ifstream file(path);
@@ -181,6 +229,17 @@ int main(int argc, char** argv) {
   cli.add_command({"list", "list the benchmark suite registry", {}, {}});
   cli.add_command({"report", "pretty-print a saved JSON study result",
                    {}, {"file"}});
+  cli.add_command({"fuzz",
+                   "differential fuzzing: random programs vs the oracles",
+                   {{"programs", "50"},
+                    {"seeds", "8"},
+                    {"time-budget", "0"},
+                    {"oracle", "all"},
+                    {"rng-seed", "1"},
+                    {"corpus", ""},
+                    {"shrink", "true"},
+                    {"replay", ""}},
+                   {}});
 
   const SubcommandCli::Parsed cmd = cli.parse_or_exit(argc, argv);
   try {
@@ -190,8 +249,14 @@ int main(int argc, char** argv) {
     if (cmd.command == "tac") return cmd_tac(cmd);
     if (cmd.command == "list") return cmd_list();
     if (cmd.command == "report") return cmd_report(cmd);
+    if (cmd.command == "fuzz") return cmd_fuzz(cmd);
     std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";
     return 1;
+  } catch (const std::invalid_argument& e) {
+    // Bad flag *values* (unknown enum spellings like --l2-policy bogus,
+    // malformed numbers, inconsistent specs) take the same loud path as
+    // unknown flags: stderr + exit 2, never a silent default.
+    exit_usage_error("mbcr", e.what());
   } catch (const std::exception& e) {
     std::cerr << "mbcr: " << e.what() << "\n";
     return 1;
