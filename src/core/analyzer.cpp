@@ -20,7 +20,10 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
   out.input_label = input.label;
 
   // 1. One functional execution gives the path's address trace.
-  const ir::ExecResult exec = ir::lower_and_execute(program, input);
+  ir::ExecOptions exec_options;
+  exec_options.executor = config_.executor;
+  const ir::ExecResult exec = ir::lower_and_execute(program, input,
+                                                    exec_options);
   const CompactTrace trace = CompactTrace::from(exec.trace);
   out.trace_accesses = trace.size();
 
@@ -149,7 +152,10 @@ Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(
 std::vector<double> Analyzer::measure(const ir::Program& program,
                                       const ir::InputVector& input,
                                       std::size_t runs) const {
-  const ir::ExecResult exec = ir::lower_and_execute(program, input);
+  ir::ExecOptions exec_options;
+  exec_options.executor = config_.executor;
+  const ir::ExecResult exec = ir::lower_and_execute(program, input,
+                                                    exec_options);
   const CompactTrace trace = CompactTrace::from(exec.trace);
   return platform::run_campaign(machine_, trace, runs, config_.campaign);
 }

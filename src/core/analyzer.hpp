@@ -32,6 +32,9 @@ struct AnalysisConfig {
   /// Probe runs used to estimate the typical execution time that anchors
   /// TAC's relative impact threshold.
   std::size_t baseline_probe_runs = 64;
+  /// IR engine producing the functional traces (bytecode VM by default;
+  /// the tree-walker is the bit-identical differential oracle).
+  ir::Executor executor = ir::Executor::kVm;
 };
 
 /// Everything the analyzer learned about one (program, input) pair.

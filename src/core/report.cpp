@@ -94,13 +94,13 @@ std::string prob_text(double p) {
 void print_study_json(std::ostream& os, const json::Value& doc) {
   // Each schema rev carries a strict superset of the previous one's
   // members (v2 added the hierarchy/placement, v3 the campaign batch
-  // width), so one reader serves all of them.
+  // width, v4 the IR executor), so one reader serves all of them.
   const std::string schema = str_or(doc.find("schema"), "");
   if (schema != "mbcr-study-v1" && schema != "mbcr-study-v2" &&
-      schema != "mbcr-study-v3") {
+      schema != "mbcr-study-v3" && schema != "mbcr-study-v4") {
     throw std::runtime_error(
-        "not a study result (expected schema \"mbcr-study-v1\", "
-        "\"mbcr-study-v2\" or \"mbcr-study-v3\")");
+        "not a study result (expected schema \"mbcr-study-v1\" ... "
+        "\"mbcr-study-v4\")");
   }
   const json::Value* spec = doc.find("spec");
   const double probability =

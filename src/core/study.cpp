@@ -315,6 +315,7 @@ std::map<std::string, std::string> StudySpec::flag_spec() {
       {"tac-cap", "2000000"},
       {"probe-runs", "64"},
       {"pwcet-prob", "1e-12"},
+      {"executor", "vm"},
       {"runs", "10000"},   {"measure-pub", "false"},
       {"curve-exp", "15"},
       {"pub-merge", "scs"},
@@ -403,6 +404,7 @@ StudySpec StudySpec::from_flags(
       static_cast<std::size_t>(parse_u64("probe-runs", get("probe-runs")));
   spec.config.pwcet_probability =
       parse_double("pwcet-prob", get("pwcet-prob"));
+  spec.config.executor = ir::parse_executor(get("executor"));
 
   spec.measure_runs = static_cast<std::size_t>(parse_u64("runs", get("runs")));
   spec.measure_pub = parse_bool("measure-pub", get("measure-pub"));
@@ -520,6 +522,7 @@ json::Value StudySpec::to_json() const {
   }
   o.emplace_back("pwcet_probability", config.pwcet_probability);
   o.emplace_back("probe_runs", config.baseline_probe_runs);
+  o.emplace_back("executor", ir::to_string(config.executor));
   o.emplace_back("measure_runs", measure_runs);
   o.emplace_back("measure_pub", measure_pub);
   o.emplace_back("curve_max_exp", curve_max_exp);
@@ -674,6 +677,10 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
       jnum(s.find("pwcet_probability"), spec.config.pwcet_probability);
   spec.config.baseline_probe_runs =
       jsize(s.find("probe_runs"), spec.config.baseline_probe_runs);
+  // v1-v3 documents predate the executor knob; the VM default applies
+  // (bit-identical to the tree-walker, so replays stay exact).
+  spec.config.executor = ir::parse_executor(
+      jstr(s.find("executor"), ir::to_string(spec.config.executor)));
   spec.measure_runs = jsize(s.find("measure_runs"), spec.measure_runs);
   spec.measure_pub = jbool(s.find("measure_pub"), spec.measure_pub);
   spec.curve_max_exp = static_cast<int>(
@@ -693,7 +700,7 @@ json::Value StudyResult::to_json() const {
   const double probability = spec.config.pwcet_probability;
   json::Object doc;
   doc.reserve(7);
-  doc.emplace_back("schema", "mbcr-study-v3");
+  doc.emplace_back("schema", "mbcr-study-v4");
   doc.emplace_back("spec", spec.to_json());
   doc.emplace_back("program", program_name);
   {

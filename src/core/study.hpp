@@ -87,9 +87,10 @@ struct StudySpec {
   /// or a whole saved StudyResult document (the `spec` member is used).
   /// Members absent from the document keep their defaults, so v1 documents
   /// (schema `mbcr-study-v1`, no hierarchy/placement fields) load as
-  /// L2-disabled hash-placement specs — exactly what they meant — and v2
+  /// L2-disabled hash-placement specs — exactly what they meant — v2
   /// documents (no campaign batch width) get the default batch, which
-  /// cannot change any replayed sample.
+  /// cannot change any replayed sample, and v3 documents (no executor
+  /// member) run on the bytecode VM, which is bit-identical anyway.
   /// Throws std::invalid_argument/std::runtime_error on malformed input.
   static StudySpec from_json(const json::Value& doc);
 };

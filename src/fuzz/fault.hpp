@@ -31,4 +31,22 @@ bool fault_enabled();
 /// Runtime toggle (no effect on builds without the hook).
 void set_fault_enabled(bool enabled);
 
+/// True iff this binary was built with MBCR_VM_FAULT: the bytecode-VM
+/// analogue of MBCR_FUZZ_FAULT. The compiled-in bug (ir/vm.cpp) makes the
+/// first array-element load of a run yield value+1 — a deliberate
+/// miscompile the vm-vs-tree oracle must catch, shrink, and corpus-commit.
+constexpr bool vm_fault_compiled_in() {
+#ifdef MBCR_VM_FAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Armed by default when compiled in; always false otherwise.
+bool vm_fault_enabled();
+
+/// Runtime toggle (no effect on builds without the hook).
+void set_vm_fault_enabled(bool enabled);
+
 }  // namespace mbcr::fuzz

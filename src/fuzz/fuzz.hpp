@@ -3,7 +3,8 @@
 // set of cross-stack oracles that pin the fast paths to the reference
 // semantics — replay vs generic caches, batched vs per-seed replay,
 // streamed vs one-shot campaigns, the PUB subsequence invariant, TAC/
-// ceiling conservatism, and the Study JSON round trip.
+// ceiling conservatism, the Study JSON round trip, and the bytecode VM
+// vs tree-walker differential.
 //
 // On a failure the greedy shrinker (shrink.hpp) minimizes the case while
 // preserving the failure, and the harness emits a self-contained repro

@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "core/study.hpp"
+#include "ir/bytecode.hpp"
 #include "ir/interp.hpp"
+#include "ir/vm.hpp"
 #include "platform/campaign.hpp"
 #include "pub/pub_transform.hpp"
 #include "pub/verify.hpp"
@@ -310,6 +312,94 @@ OracleOutcome oracle_study_json(const FuzzCaseData& data, bool) {
   return {};
 }
 
+// --- oracle 7: bytecode VM == tree-walking interpreter --------------------
+
+/// One engine's observation of a run: either a full ExecResult or the
+/// ExecError text it raised. The two engines must agree on *which* of the
+/// two happened, and on every byte of it.
+struct EngineRun {
+  bool threw = false;
+  std::string error;
+  ir::ExecResult result;
+};
+
+template <typename Fn>
+EngineRun observe(Fn&& fn) {
+  EngineRun run;
+  try {
+    run.result = fn();
+  } catch (const ir::ExecError& e) {
+    run.threw = true;
+    run.error = e.what();
+  }
+  return run;
+}
+
+/// Empty string = bit-identical; otherwise the first differing field.
+std::string diff_exec(const ir::ExecResult& tree, const ir::ExecResult& vm) {
+  if (vm.trace.accesses != tree.trace.accesses) {
+    const std::size_t n =
+        std::min(tree.trace.accesses.size(), vm.trace.accesses.size());
+    std::size_t i = 0;
+    while (i < n && vm.trace.accesses[i] == tree.trace.accesses[i]) ++i;
+    std::ostringstream ss;
+    ss << "traces diverge at access " << i << " (tree "
+       << tree.trace.accesses.size() << " entries, vm "
+       << vm.trace.accesses.size() << ")";
+    return ss.str();
+  }
+  if (vm.tokens != tree.tokens) return "token streams differ";
+  if (!(vm.path == tree.path)) {
+    return "path signatures differ (tree " + tree.path.to_string() + ", vm " +
+           vm.path.to_string() + ")";
+  }
+  if (vm.leaf_steps != tree.leaf_steps) {
+    return "leaf_steps " + std::to_string(vm.leaf_steps) + " != tree " +
+           std::to_string(tree.leaf_steps);
+  }
+  if (vm.env.scalars != tree.env.scalars || vm.env.arrays != tree.env.arrays) {
+    return "final environments differ";
+  }
+  return {};
+}
+
+OracleOutcome oracle_vm(const FuzzCaseData& data, bool) {
+  const ir::Program pubbed = pub::apply_pub(data.program);
+  // The pubbed variant is what exercises ghost/pad lowering — randprog
+  // programs carry no ghosts of their own.
+  const std::pair<const char*, const ir::Program*> variants[] = {
+      {"original", &data.program}, {"pubbed", &pubbed}};
+  for (const auto& [which, prog] : variants) {
+    const ir::Linked linked = ir::lower(*prog);
+    const ir::BytecodeProgram bytecode = ir::compile(*prog, linked);
+    for (const ir::InputVector& in : data.inputs) {
+      const EngineRun tree = observe(
+          [&] { return ir::execute_tree(*prog, linked, in); });
+      const EngineRun vm =
+          observe([&] { return ir::vm::run(bytecode, in); });
+      const std::string where =
+          "input " + in.label + " (" + which + " program): ";
+      if (tree.threw != vm.threw) {
+        return fail(where + (vm.threw ? "vm threw ExecError \"" + vm.error +
+                                            "\" but the tree-walker succeeded"
+                                      : "tree-walker threw ExecError \"" +
+                                            tree.error +
+                                            "\" but the vm succeeded"));
+      }
+      if (tree.threw) {
+        if (tree.error != vm.error) {
+          return fail(where + "ExecError texts differ (tree \"" + tree.error +
+                      "\", vm \"" + vm.error + "\")");
+        }
+        continue;
+      }
+      const std::string detail = diff_exec(tree.result, vm.result);
+      if (!detail.empty()) return fail(where + detail);
+    }
+  }
+  return {};
+}
+
 constexpr Oracle kOracles[] = {
     {"replay", "fast run_once == generic-cache reference across the "
                "hierarchy-flavor grid",
@@ -324,6 +414,9 @@ constexpr Oracle kOracles[] = {
      oracle_tac},
     {"study_json", "StudySpec/StudyResult JSON round-trip text identity",
      oracle_study_json},
+    {"vm", "bytecode VM bit-identical to the tree-walking interpreter on "
+           "the original and pubbed programs",
+     oracle_vm},
 };
 
 }  // namespace

@@ -17,6 +17,10 @@
 //   study_json  StudySpec and StudyResult JSON round-trip text-identically
 //               (spec -> json -> spec -> json, and result doc -> parse ->
 //               re-emit)
+//   vm          the bytecode VM (ir/vm) is bit-identical to the
+//               tree-walking interpreter — trace, env, tokens, path,
+//               leaf_steps and ExecError texts — on both the original and
+//               the pubbed program, for every input
 //
 // Oracles are pure: they never mutate the case and are deterministic in
 // it, which is what lets the shrinker re-evaluate candidates cheaply.
@@ -43,7 +47,7 @@ struct Oracle {
   OracleOutcome (*run)(const FuzzCaseData& data, bool inject_fault);
 };
 
-/// All six oracles, in the documentation order above.
+/// All seven oracles, in the documentation order above.
 std::span<const Oracle> all_oracles();
 
 /// Lookup by name; nullptr for unknown names ("all" is not an oracle).

@@ -1,5 +1,8 @@
 #include "ir/interp.hpp"
 
+#include "ir/bytecode.hpp"
+#include "ir/vm.hpp"
+
 namespace mbcr::ir {
 
 namespace {
@@ -298,8 +301,27 @@ private:
 
 }  // namespace
 
+const char* to_string(Executor executor) {
+  return executor == Executor::kTree ? "tree" : "vm";
+}
+
+Executor parse_executor(const std::string& text) {
+  if (text == "tree") return Executor::kTree;
+  if (text == "vm") return Executor::kVm;
+  throw std::invalid_argument("unknown executor '" + text +
+                              "' (expected tree or vm)");
+}
+
 ExecResult execute(const Program& program, const Linked& linked,
                    const InputVector& input, const ExecOptions& options) {
+  if (options.executor == Executor::kVm) {
+    return vm::run(compile(program, linked), input, options);
+  }
+  return execute_tree(program, linked, input, options);
+}
+
+ExecResult execute_tree(const Program& program, const Linked& linked,
+                        const InputVector& input, const ExecOptions& options) {
   Interp interp(program, linked, options);
   return interp.run(input);
 }

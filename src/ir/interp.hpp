@@ -28,9 +28,22 @@ struct Env {
   std::map<std::string, std::vector<Value>> arrays;
 };
 
+/// Which engine runs the program. kVm — compile to flat bytecode
+/// (ir/bytecode) and execute on the dispatch-loop VM (ir/vm); the default
+/// everywhere. kTree — the original tree-walking interpreter, retained as
+/// the differential oracle (`execute_tree`). Both produce bit-identical
+/// ExecResults; the choice is purely a throughput knob, surfaced as
+/// StudySpec/mbcr `--executor {tree,vm}`.
+enum class Executor { kTree, kVm };
+
+const char* to_string(Executor executor);
+/// Parses "tree" / "vm"; throws std::invalid_argument on anything else.
+Executor parse_executor(const std::string& text);
+
 struct ExecOptions {
   bool record_trace = true;
   std::uint64_t max_leaf_steps = 50'000'000;  ///< runaway guard
+  Executor executor = Executor::kVm;
 };
 
 struct ExecResult {
@@ -63,9 +76,16 @@ public:
   using std::runtime_error::runtime_error;
 };
 
-/// Executes `program` (laid out as `linked`) on `input`.
+/// Executes `program` (laid out as `linked`) on `input` with the engine
+/// selected by `options.executor`.
 ExecResult execute(const Program& program, const Linked& linked,
                    const InputVector& input, const ExecOptions& options = {});
+
+/// The tree-walking reference interpreter — the oracle the bytecode VM is
+/// differentially pinned to. Ignores `options.executor`.
+ExecResult execute_tree(const Program& program, const Linked& linked,
+                        const InputVector& input,
+                        const ExecOptions& options = {});
 
 /// Convenience: lower + execute in one call.
 ExecResult lower_and_execute(const Program& program, const InputVector& input,

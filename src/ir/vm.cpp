@@ -1,0 +1,489 @@
+#include "ir/vm.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "fuzz/fault.hpp"
+
+// Dispatch strategy: direct-threaded computed goto where the compiler
+// supports it (GCC/Clang label-as-value extension), plain switch loop
+// otherwise. MBCR_VM_SWITCH_DISPATCH (set by -DMBCR_VM_COMPUTED_GOTO=OFF)
+// forces the switch so CI keeps both paths green.
+#if !defined(MBCR_VM_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MBCR_VM_USE_COMPUTED_GOTO 1
+#else
+#define MBCR_VM_USE_COMPUTED_GOTO 0
+#endif
+
+namespace mbcr::ir::vm {
+
+namespace {
+
+/// Shadow snapshot taken at a ghost boundary; restored (and the ghost's
+/// mutations discarded) at the matching exit — exactly `Env shadow = env`
+/// in the tree-walker.
+struct GhostFrame {
+  std::vector<Value> scalars;
+  std::vector<Value> heap;
+};
+
+template <bool RecordTrace>
+class Machine {
+public:
+  Machine(const BytecodeProgram& bc, const ExecOptions& options)
+      : bc_(bc), opt_(options) {}
+
+  ExecResult run(const InputVector& input) {
+    scalars_.assign(bc_.scalar_names.size(), 0);
+    heap_ = bc_.heap_init;
+    for (const auto& [name, value] : input.scalars) {
+      const auto it = bc_.scalar_index.find(name);
+      if (it == bc_.scalar_index.end()) {
+        throw ExecError(bc_.name + ": input sets undeclared scalar '" + name +
+                        "'");
+      }
+      scalars_[it->second] = value;
+    }
+    for (const auto& [name, contents] : input.arrays) {
+      const auto it = bc_.array_index.find(name);
+      if (it == bc_.array_index.end()) {
+        throw ExecError(bc_.name + ": input sets undeclared array '" + name +
+                        "'");
+      }
+      const ArraySlot& slot = bc_.arrays[it->second];
+      if (contents.size() > slot.size) {
+        throw ExecError(bc_.name + ": input overflows array '" + name + "'");
+      }
+      std::copy(contents.begin(), contents.end(),
+                heap_.begin() + slot.offset);
+    }
+    stack_.resize(static_cast<std::size_t>(bc_.max_stack) + 1);
+    trips_.assign(bc_.loops.size(), 0);
+
+    exec_loop();
+
+    ExecResult result;
+    result.trace = std::move(trace_);
+    result.tokens = std::move(tokens_);
+    for (std::size_t i = 0; i < bc_.scalar_names.size(); ++i) {
+      result.env.scalars[bc_.scalar_names[i]] = scalars_[i];
+    }
+    for (const ArraySlot& slot : bc_.arrays) {
+      result.env.arrays[slot.name] =
+          std::vector<Value>(heap_.begin() + slot.offset,
+                             heap_.begin() + slot.offset + slot.size);
+    }
+    result.leaf_steps = steps_;
+    result.path = std::move(path_);
+    return result;
+  }
+
+private:
+  void exec_loop();
+
+  void step() {
+    if (++steps_ > opt_.max_leaf_steps) throw ExecError(bc_.err_step);
+  }
+
+  void do_fetch(const FetchSite& site) {
+    for (std::uint32_t k = 0; k < site.n_instr; ++k) {
+      trace_.emit(site.base + static_cast<Addr>(k) * kInstrBytes,
+                  AccessKind::kIFetch);
+    }
+    tokens_.push_back(site.token);
+  }
+
+  void emit_data(const ArraySlot& arr, Value idx, AccessKind kind) {
+    const Addr addr = arr.base + static_cast<Addr>(idx) * 4;
+    trace_.emit(addr, kind);
+    tokens_.push_back(data_token(addr));
+  }
+
+  /// Ghost accesses wrap into the array instead of faulting (padding is
+  /// functionally innocuous); real accesses bounds-check strictly.
+  static Value wrap_index(Value idx, std::uint32_t size) {
+    if (size == 0) return idx;
+    const auto s = static_cast<Value>(size);
+    return ((idx % s) + s) % s;
+  }
+
+  [[noreturn]] void raise_oob(const ArraySlot& arr, Value idx) const {
+    throw ExecError(bc_.name + ": index " + std::to_string(idx) +
+                    " out of bounds for array '" + arr.name + "' (size " +
+                    std::to_string(arr.size) + ")");
+  }
+
+  void ghost_enter() {
+    frames_.push_back({scalars_, heap_});
+    ++ghost_depth_;
+  }
+
+  void ghost_exit() {
+    GhostFrame& frame = frames_.back();
+    scalars_ = std::move(frame.scalars);
+    heap_ = std::move(frame.heap);
+    frames_.pop_back();
+    --ghost_depth_;
+  }
+
+  const BytecodeProgram& bc_;
+  ExecOptions opt_;
+  std::vector<Value> scalars_;
+  std::vector<Value> heap_;
+  std::vector<Value> stack_;
+  std::vector<std::uint64_t> trips_;
+  std::vector<GhostFrame> frames_;
+  std::uint32_t ghost_depth_ = 0;
+  MemTrace trace_;
+  std::vector<std::uint64_t> tokens_;
+  PathSignature path_;
+  std::uint64_t steps_ = 0;
+  // MBCR_VM_FAULT self-test bug (see fuzz/fault.hpp): when compiled in and
+  // armed, the first element load of a run yields value+1.
+  bool vm_fault_pending_ =
+      fuzz::vm_fault_compiled_in() && fuzz::vm_fault_enabled();
+};
+
+#if MBCR_VM_USE_COMPUTED_GOTO
+#define VM_CASE(name) lbl_##name:
+#define VM_NEXT() goto* kDispatchTable[static_cast<std::size_t>(ip->code)]
+#else
+#define VM_CASE(name) case OpCode::name:
+#define VM_NEXT() goto vm_dispatch
+#endif
+
+template <bool RecordTrace>
+void Machine<RecordTrace>::exec_loop() {
+  const Op* const base = bc_.ops.data();
+  const Op* ip = base;
+  Value* sp = stack_.data();
+
+#if MBCR_VM_USE_COMPUTED_GOTO
+  // Table order mirrors the OpCode enum by construction (same X-macro).
+  static const void* kDispatchTable[] = {
+#define MBCR_VM_LABEL_ADDR(name) &&lbl_##name,
+      MBCR_VM_OPCODES(MBCR_VM_LABEL_ADDR)
+#undef MBCR_VM_LABEL_ADDR
+  };
+  static_assert(sizeof(kDispatchTable) / sizeof(const void*) == kOpCodeCount);
+  VM_NEXT();
+#else
+vm_dispatch:
+  switch (ip->code) {
+#endif
+
+  VM_CASE(kHalt) { return; }
+
+  VM_CASE(kPushConst) {
+    *sp++ = bc_.consts[ip->a];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLoadScalar) {
+    *sp++ = scalars_[ip->a];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kStoreScalar) {
+    scalars_[ip->a] = *--sp;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kAddScalarImm) {
+    scalars_[ip->a] += bc_.consts[ip->b];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLoadElem) {
+    const ArraySlot& arr = bc_.arrays[ip->a];
+    Value idx = sp[-1];
+    if (ghost_depth_ > 0) {
+      idx = wrap_index(idx, arr.size);
+    } else if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size) {
+      raise_oob(arr, idx);
+    }
+    if constexpr (RecordTrace) emit_data(arr, idx, AccessKind::kLoad);
+    Value v = heap_[arr.offset + static_cast<std::size_t>(idx)];
+    if constexpr (fuzz::vm_fault_compiled_in()) {
+      if (vm_fault_pending_) {
+        vm_fault_pending_ = false;
+        v += 1;
+      }
+    }
+    sp[-1] = v;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kStoreElem) {
+    const ArraySlot& arr = bc_.arrays[ip->a];
+    const Value value = *--sp;
+    Value idx = *--sp;
+    if (ghost_depth_ > 0) {
+      idx = wrap_index(idx, arr.size);
+    } else if (idx < 0 || static_cast<std::size_t>(idx) >= arr.size) {
+      raise_oob(arr, idx);
+    }
+    // Ghost stores are demoted to loads: same line touched, no
+    // architectural effect outside the shadow frame.
+    if constexpr (RecordTrace) {
+      emit_data(arr, idx,
+                ghost_depth_ > 0 ? AccessKind::kLoad : AccessKind::kStore);
+    }
+    heap_[arr.offset + static_cast<std::size_t>(idx)] = value;
+    ++ip;
+    VM_NEXT();
+  }
+
+  VM_CASE(kAdd) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] + r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kSub) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] - r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kMul) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] * r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kDiv) {
+    const Value r = *--sp;
+    if (r == 0) throw ExecError(bc_.err_div0);
+    sp[-1] = sp[-1] / r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kMod) {
+    const Value r = *--sp;
+    if (r == 0) throw ExecError(bc_.err_mod0);
+    sp[-1] = sp[-1] % r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kShl) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] << (r & 63);
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kShr) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] >> (r & 63);
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kBitAnd) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] & r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kBitOr) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] | r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kBitXor) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] ^ r;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLt) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] < r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLe) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] <= r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kGt) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] > r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kGe) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] >= r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kEq) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] == r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kNe) {
+    const Value r = *--sp;
+    sp[-1] = sp[-1] != r ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLAnd) {
+    const Value r = *--sp;
+    sp[-1] = (sp[-1] != 0 && r != 0) ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLOr) {
+    const Value r = *--sp;
+    sp[-1] = (sp[-1] != 0 || r != 0) ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+
+  VM_CASE(kNeg) {
+    sp[-1] = -sp[-1];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLNot) {
+    sp[-1] = sp[-1] == 0 ? 1 : 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kBitNot) {
+    sp[-1] = ~sp[-1];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kSelect) {
+    const Value else_v = *--sp;
+    const Value then_v = *--sp;
+    sp[-1] = sp[-1] != 0 ? then_v : else_v;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kPop) {
+    --sp;
+    ++ip;
+    VM_NEXT();
+  }
+
+  VM_CASE(kStepFetch) {
+    step();
+    if constexpr (RecordTrace) do_fetch(bc_.sites[ip->a]);
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kFetch) {
+    if constexpr (RecordTrace) do_fetch(bc_.sites[ip->a]);
+    ++ip;
+    VM_NEXT();
+  }
+
+  VM_CASE(kJump) {
+    ip = base + ip->a;
+    VM_NEXT();
+  }
+  VM_CASE(kBranch) {
+    const Value cond = *--sp;
+    const bool taken = cond != 0;
+    if (ghost_depth_ == 0) {
+      path_.events.emplace_back(bc_.branch_ids[ip->b], taken ? 1 : 0);
+    }
+    if (taken) {
+      ++ip;
+    } else {
+      ip = base + ip->a;
+    }
+    VM_NEXT();
+  }
+
+  VM_CASE(kResetTrips) {
+    trips_[ip->a] = 0;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kLoopNext) {
+    const Value cond = *--sp;
+    if (cond == 0) {
+      ip = base + ip->b;
+      VM_NEXT();
+    }
+    const LoopSlot& loop = bc_.loops[ip->a];
+    if (trips_[ip->a] == loop.max_trips) throw ExecError(loop.bound_error);
+    ++trips_[ip->a];
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kPathLoop) {
+    if (ghost_depth_ == 0) {
+      path_.events.emplace_back(bc_.loops[ip->a].stmt_id, trips_[ip->a]);
+    }
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kPadEnter) {
+    if (trips_[ip->a] >= bc_.loops[ip->a].max_trips) {
+      ip = base + ip->b;
+      VM_NEXT();
+    }
+    ghost_enter();
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kPadNext) {
+    ++trips_[ip->a];
+    if (trips_[ip->a] < bc_.loops[ip->a].max_trips) {
+      ip = base + ip->b;
+      VM_NEXT();
+    }
+    ++ip;  // falls through to the pad section's kGhostExit
+    VM_NEXT();
+  }
+
+  VM_CASE(kGhostEnter) {
+    ghost_enter();
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kGhostExit) {
+    ghost_exit();
+    ++ip;
+    VM_NEXT();
+  }
+
+#if !MBCR_VM_USE_COMPUTED_GOTO
+  }
+#endif
+}
+
+#undef VM_CASE
+#undef VM_NEXT
+
+}  // namespace
+
+ExecResult run(const BytecodeProgram& bytecode, const InputVector& input,
+               const ExecOptions& options) {
+  if (options.record_trace) {
+    Machine<true> machine(bytecode, options);
+    return machine.run(input);
+  }
+  Machine<false> machine(bytecode, options);
+  return machine.run(input);
+}
+
+const char* dispatch_kind() {
+#if MBCR_VM_USE_COMPUTED_GOTO
+  return "computed-goto";
+#else
+  return "switch";
+#endif
+}
+
+}  // namespace mbcr::ir::vm

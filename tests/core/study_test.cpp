@@ -63,6 +63,8 @@ TEST(StudySpec, FlagDefaultsReproduceDefaultSpec) {
   EXPECT_EQ(spec.curve_max_exp, dflt.curve_max_exp);
   EXPECT_EQ(spec.config.pub.merge, dflt.config.pub.merge);
   EXPECT_EQ(spec.config.pub.pad_loops, dflt.config.pub.pad_loops);
+  EXPECT_EQ(spec.config.executor, ir::Executor::kVm);
+  EXPECT_EQ(spec.config.executor, dflt.config.executor);
 }
 
 TEST(StudySpec, FromFlagsParsesOverrides) {
@@ -81,6 +83,7 @@ TEST(StudySpec, FromFlagsParsesOverrides) {
   flags["pwcet-prob"] = "1e-9";
   flags["measure-pub"] = "true";
   flags["pub-merge"] = "append";
+  flags["executor"] = "tree";
   const StudySpec spec = StudySpec::from_flags(flags);
   EXPECT_EQ(spec.suite, "crc");
   EXPECT_EQ(spec.mode, StudyMode::kMultipath);
@@ -96,6 +99,7 @@ TEST(StudySpec, FromFlagsParsesOverrides) {
   EXPECT_DOUBLE_EQ(spec.config.pwcet_probability, 1e-9);
   EXPECT_TRUE(spec.measure_pub);
   EXPECT_EQ(spec.config.pub.merge, pub::BranchMerge::kAppendGhost);
+  EXPECT_EQ(spec.config.executor, ir::Executor::kTree);
 }
 
 TEST(StudySpec, FromFlagsRejectsBadValues) {
@@ -126,6 +130,9 @@ TEST(StudySpec, FromFlagsRejectsBadValues) {
   EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
   flags = StudySpec::flag_spec();
   flags["pad-loops"] = "2";
+  EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
+  flags = StudySpec::flag_spec();
+  flags["executor"] = "jit";
   EXPECT_THROW(StudySpec::from_flags(flags), std::invalid_argument);
 }
 
@@ -201,6 +208,7 @@ TEST(StudySpec, JsonRoundTripsExactly) {
   flags["l2-latency"] = "12";
   flags["tolerance"] = "0.07";
   flags["pub-merge"] = "append";
+  flags["executor"] = "tree";
   const StudySpec spec = StudySpec::from_flags(flags);
 
   const json::Value doc = spec.to_json();
@@ -212,6 +220,7 @@ TEST(StudySpec, JsonRoundTripsExactly) {
   EXPECT_EQ(back.config.machine.l2.l2.placement, Placement::kModulo);
   EXPECT_EQ(back.config.machine.il1.placement, Placement::kModulo);
   EXPECT_EQ(back.config.pub.merge, pub::BranchMerge::kAppendGhost);
+  EXPECT_EQ(back.config.executor, ir::Executor::kTree);
 }
 
 TEST(StudySpec, FromJsonReadsV1DocumentsWithDefaults) {
@@ -240,7 +249,34 @@ TEST(StudySpec, FromJsonReadsV1DocumentsWithDefaults) {
   // Pre-batching documents get the default batch width — samples are
   // batch-width invariant, so the replay stays exact.
   EXPECT_EQ(spec.config.campaign.batch, dflt.config.campaign.batch);
+  // Pre-executor documents (v1-v3) run on the bytecode VM: bit-identical
+  // to the tree-walker that produced them, so replays stay exact too.
+  EXPECT_EQ(spec.config.executor, ir::Executor::kVm);
   EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(StudySpec, TreeAndVmExecutorsProduceIdenticalStudies) {
+  // The executor is a pure throughput knob: the whole study document —
+  // traces, campaigns, convergence, TAC, pWCET curves — must be
+  // byte-identical apart from the recorded executor name.
+  StudySpec spec = fast_spec("bs", StudyMode::kPubTac);
+  spec.config.convergence.max_runs = 2000;
+  spec.config.tac.max_runs_cap = 2000;
+  spec.config.executor = ir::Executor::kVm;
+  const StudyResult vm = run_study(spec);
+  spec.config.executor = ir::Executor::kTree;
+  const StudyResult tree = run_study(spec);
+
+  std::ostringstream vm_json, tree_json;
+  vm.write_json(vm_json);
+  tree.write_json(tree_json);
+  std::string vm_text = vm_json.str();
+  const std::string tree_text = tree_json.str();
+  const auto at = vm_text.find("\"executor\": \"vm\"");
+  ASSERT_NE(at, std::string::npos);
+  vm_text.replace(at, std::string("\"executor\": \"vm\"").size(),
+                  "\"executor\": \"tree\"");
+  EXPECT_EQ(vm_text, tree_text);
 }
 
 TEST(StudySpec, FromJsonAcceptsWholeResultDocuments) {
@@ -421,7 +457,8 @@ TEST(StudyResult, JsonRoundTrips) {
   result.write_json(ss);
   const json::Value doc = json::parse(ss.str());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v3");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v4");
+  EXPECT_EQ(doc.at("spec").at("executor").as_string(), "vm");
   EXPECT_EQ(doc.at("program").as_string(), "bs.pub");
   EXPECT_EQ(doc.at("spec").at("mode").as_string(), "pub_tac");
   EXPECT_EQ(doc.at("spec").at("suite").as_string(), "bs");

@@ -1,8 +1,8 @@
 // The differential fuzzing harness, tested as a subsystem: deterministic
-// case generation, all six oracles green on the healthy build, failure
+// case generation, all seven oracles green on the healthy build, failure
 // detection + shrinking + repro emission via the synthetic fault switch,
-// and the repro JSON round trip. The compile-time MBCR_FUZZ_FAULT hook has
-// its own gated tests at the bottom.
+// and the repro JSON round trip. The compile-time MBCR_FUZZ_FAULT and
+// MBCR_VM_FAULT hooks have their own gated tests at the bottom.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -92,9 +92,10 @@ TEST(FuzzHarness, EachOraclePassesIndividually) {
 TEST(FuzzHarness, OracleRegistryLookup) {
   EXPECT_NE(find_oracle("replay"), nullptr);
   EXPECT_NE(find_oracle("study_json"), nullptr);
+  EXPECT_NE(find_oracle("vm"), nullptr);
   EXPECT_EQ(find_oracle("nosuch"), nullptr);
   EXPECT_EQ(find_oracle("all"), nullptr);  // "all" is a CLI alias, not an oracle
-  EXPECT_EQ(all_oracles().size(), 6u);
+  EXPECT_EQ(all_oracles().size(), 7u);
 }
 
 TEST(FuzzHarness, RejectsBadConfig) {
@@ -251,6 +252,55 @@ TEST(FuzzFault, HookIsCompiledOutOfRegularBuilds) {
   EXPECT_FALSE(fault_enabled());
   set_fault_enabled(true);  // must stay inert without the macro
   EXPECT_FALSE(fault_enabled());
+}
+#endif
+
+// --- the compile-time VM miscompile hook ----------------------------------
+
+#ifdef MBCR_VM_FAULT
+TEST(FuzzVmFault, CompiledMiscompileIsCaughtShrunkAndEmitted) {
+  // In a -DMBCR_VM_FAULT=ON build the vm oracle must catch the deliberate
+  // miscompile (the first element load of every VM run yields value+1)
+  // purely differentially — the tree-walker is untouched, so only the
+  // vm-vs-tree comparison can see it. The shrunk case must still carry an
+  // array (the bug lives in element loads), and the emitted repro must be
+  // a well-formed corpus candidate targeting the vm oracle.
+  ASSERT_TRUE(vm_fault_compiled_in());
+  set_vm_fault_enabled(true);
+  FuzzConfig cfg;
+  cfg.programs = 10;
+  cfg.seeds = 2;
+  cfg.rng_seed = 1;
+  cfg.oracle = "vm";
+  cfg.corpus_dir = ::testing::TempDir();
+  const FuzzReport report = run_fuzz(cfg);
+  ASSERT_FALSE(report.ok());
+  const FuzzFailure& failure = report.failures.front();
+  EXPECT_EQ(failure.oracle, "vm");
+  EXPECT_FALSE(failure.shrunk.program.arrays.empty());
+  EXPECT_LE(ir::stmt_count(failure.shrunk.program.body),
+            ir::stmt_count(make_case(1, failure.case_index, 2).program.body));
+
+  ASSERT_FALSE(failure.repro_path.empty());
+  const Repro repro = load_repro(failure.repro_path);
+  EXPECT_EQ(repro.oracle, "vm");
+  EXPECT_EQ(ir::to_string(repro.data.program),
+            ir::to_string(failure.shrunk.program));
+
+  // Disarmed, the VM is healthy again: the same repro replays green —
+  // exactly what the committed corpus entry checks in regular builds.
+  set_vm_fault_enabled(false);
+  const OracleOutcome replay = run_repro(repro);
+  EXPECT_TRUE(replay.ok) << replay.detail;
+  set_vm_fault_enabled(true);
+  std::remove(failure.repro_path.c_str());
+}
+#else
+TEST(FuzzVmFault, HookIsCompiledOutOfRegularBuilds) {
+  EXPECT_FALSE(vm_fault_compiled_in());
+  EXPECT_FALSE(vm_fault_enabled());
+  set_vm_fault_enabled(true);  // must stay inert without the macro
+  EXPECT_FALSE(vm_fault_enabled());
 }
 #endif
 
