@@ -6,6 +6,7 @@
 #include "core/study.hpp"
 #include "ir/bytecode.hpp"
 #include "ir/interp.hpp"
+#include "ir/verify.hpp"
 #include "ir/vm.hpp"
 #include "platform/campaign.hpp"
 #include "pub/pub_transform.hpp"
@@ -400,6 +401,64 @@ OracleOutcome oracle_vm(const FuzzCaseData& data, bool) {
   return {};
 }
 
+// --- oracle 8: verifier verdicts + proof-audited elided execution ---------
+
+OracleOutcome oracle_verify(const FuzzCaseData& data, bool) {
+  const ir::Program pubbed = pub::apply_pub(data.program);
+  const std::pair<const char*, const ir::Program*> variants[] = {
+      {"original", &data.program}, {"pubbed", &pubbed}};
+  for (const auto& [which, prog] : variants) {
+    const ir::Linked linked = ir::lower(*prog);
+    ir::BytecodeProgram bytecode = ir::compile(*prog, linked);
+    const std::string where = std::string("(") + which + " program): ";
+
+    // Every compiled program must verify clean — randprog and the PUB
+    // transform emit only well-formed bytecode.
+    const ir::VerifyResult facts = ir::verify(bytecode);
+    if (!facts.ok()) {
+      return fail(where + "verifier rejected compiled bytecode: " +
+                  facts.describe());
+    }
+
+    // Elide the proven accesses, then re-verify: the recorded proofs must
+    // themselves pass the analysis (this is the static net that catches a
+    // miscompiled proof, e.g. the MBCR_VERIFY_FAULT hook).
+    ir::apply_elision(bytecode, facts);
+    const ir::VerifyResult elided_facts = ir::verify(bytecode);
+    if (!elided_facts.ok()) {
+      return fail(where + "re-verification of the elided bytecode failed: " +
+                  elided_facts.describe());
+    }
+
+    // Dynamic net: validating-mode execution audits every elided access
+    // against its proof and must stay bit-identical to the tree-walker.
+    for (const ir::InputVector& in : data.inputs) {
+      const EngineRun tree =
+          observe([&] { return ir::execute_tree(*prog, linked, in); });
+      const EngineRun vm =
+          observe([&] { return ir::vm::run_validating(bytecode, in); });
+      const std::string at = "input " + in.label + " " + where;
+      if (tree.threw != vm.threw) {
+        return fail(at + (vm.threw
+                              ? "validating vm threw ExecError \"" + vm.error +
+                                    "\" but the tree-walker succeeded"
+                              : "tree-walker threw ExecError \"" + tree.error +
+                                    "\" but the validating vm succeeded"));
+      }
+      if (tree.threw) {
+        if (tree.error != vm.error) {
+          return fail(at + "ExecError texts differ (tree \"" + tree.error +
+                      "\", validating vm \"" + vm.error + "\")");
+        }
+        continue;
+      }
+      const std::string detail = diff_exec(tree.result, vm.result);
+      if (!detail.empty()) return fail(at + "elided execution: " + detail);
+    }
+  }
+  return {};
+}
+
 constexpr Oracle kOracles[] = {
     {"replay", "fast run_once == generic-cache reference across the "
                "hierarchy-flavor grid",
@@ -417,6 +476,10 @@ constexpr Oracle kOracles[] = {
     {"vm", "bytecode VM bit-identical to the tree-walking interpreter on "
            "the original and pubbed programs",
      oracle_vm},
+    {"verify", "static verifier accepts compiled and elided bytecode; "
+               "proof-audited elided execution bit-identical to the "
+               "tree-walker",
+     oracle_verify},
 };
 
 }  // namespace

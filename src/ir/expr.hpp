@@ -10,12 +10,59 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 
 namespace mbcr::ir {
 
 using Value = std::int64_t;
+
+// --- arithmetic semantics -------------------------------------------------
+//
+// IR arithmetic is total: add/sub/mul/neg/shl wrap modulo 2^64 (two's
+// complement), and the two quotient corner cases the hardware traps on are
+// pinned (INT64_MIN / -1 == INT64_MIN, INT64_MIN % -1 == 0; division by
+// zero throws before these helpers run). The tree-walker, the bytecode VM
+// and the static verifier all build on these definitions — plain signed
+// C++ operators would be undefined behaviour on overflow, letting the two
+// engines (or two compilers) legally diverge.
+
+constexpr Value wrap_add(Value l, Value r) {
+  return static_cast<Value>(static_cast<std::uint64_t>(l) +
+                            static_cast<std::uint64_t>(r));
+}
+
+constexpr Value wrap_sub(Value l, Value r) {
+  return static_cast<Value>(static_cast<std::uint64_t>(l) -
+                            static_cast<std::uint64_t>(r));
+}
+
+constexpr Value wrap_mul(Value l, Value r) {
+  return static_cast<Value>(static_cast<std::uint64_t>(l) *
+                            static_cast<std::uint64_t>(r));
+}
+
+constexpr Value wrap_neg(Value v) {
+  return static_cast<Value>(0u - static_cast<std::uint64_t>(v));
+}
+
+constexpr Value wrap_shl(Value l, Value r) {
+  return static_cast<Value>(static_cast<std::uint64_t>(l)
+                            << (static_cast<std::uint64_t>(r) & 63u));
+}
+
+/// Quotient with the INT64_MIN / -1 wrap pinned; `r` must be nonzero.
+constexpr Value wrap_div(Value l, Value r) {
+  if (l == std::numeric_limits<Value>::min() && r == -1) return l;
+  return l / r;
+}
+
+/// Remainder with the INT64_MIN % -1 case pinned to 0; `r` must be nonzero.
+constexpr Value wrap_mod(Value l, Value r) {
+  if (l == std::numeric_limits<Value>::min() && r == -1) return 0;
+  return l % r;
+}
 
 enum class BinOp {
   kAdd, kSub, kMul, kDiv, kMod,

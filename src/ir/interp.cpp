@@ -1,6 +1,7 @@
 #include "ir/interp.hpp"
 
 #include "ir/bytecode.hpp"
+#include "ir/verify.hpp"
 #include "ir/vm.hpp"
 
 namespace mbcr::ir {
@@ -125,7 +126,7 @@ private:
       ++trips;
       exec(s.children[0], env, ghost);
       fetch(Linked::slot_step(s.id), Linked::slot_step(s.origin));
-      env.scalars[s.name] += s.step;
+      env.scalars[s.name] = wrap_add(env.scalars[s.name], s.step);
     }
     if (!ghost) path_.events.emplace_back(s.id, trips);
     if (s.pad_to_max && trips < s.max_trips) {
@@ -136,7 +137,7 @@ private:
         (void)eval(s.cond, shadow, /*ghost=*/true);
         exec(s.children[0], shadow, /*ghost=*/true);
         fetch(Linked::slot_step(s.id), Linked::slot_step(s.origin));
-        shadow.scalars[s.name] += s.step;
+        shadow.scalars[s.name] = wrap_add(shadow.scalars[s.name], s.step);
       }
     }
   }
@@ -192,7 +193,7 @@ private:
       case Expr::Kind::kUn: {
         const Value v = eval(e->a, env, ghost);
         switch (e->un) {
-          case UnOp::kNeg: return -v;
+          case UnOp::kNeg: return wrap_neg(v);
           case UnOp::kLNot: return v == 0 ? 1 : 0;
           case UnOp::kBitNot: return ~v;
         }
@@ -212,16 +213,16 @@ private:
 
   Value apply_bin(BinOp op, Value l, Value r) {
     switch (op) {
-      case BinOp::kAdd: return l + r;
-      case BinOp::kSub: return l - r;
-      case BinOp::kMul: return l * r;
+      case BinOp::kAdd: return wrap_add(l, r);
+      case BinOp::kSub: return wrap_sub(l, r);
+      case BinOp::kMul: return wrap_mul(l, r);
       case BinOp::kDiv:
         if (r == 0) throw ExecError(prog_.name + ": division by zero");
-        return l / r;
+        return wrap_div(l, r);
       case BinOp::kMod:
         if (r == 0) throw ExecError(prog_.name + ": modulo by zero");
-        return l % r;
-      case BinOp::kShl: return l << (r & 63);
+        return wrap_mod(l, r);
+      case BinOp::kShl: return wrap_shl(l, r);
       case BinOp::kShr: return l >> (r & 63);
       case BinOp::kBitAnd: return l & r;
       case BinOp::kBitOr: return l | r;
@@ -315,7 +316,9 @@ Executor parse_executor(const std::string& text) {
 ExecResult execute(const Program& program, const Linked& linked,
                    const InputVector& input, const ExecOptions& options) {
   if (options.executor == Executor::kVm) {
-    return vm::run(compile(program, linked), input, options);
+    // Fail-closed pipeline: the verifier gates every program before the VM
+    // sees it, and its in-bounds proofs elide the per-access bounds branch.
+    return vm::run(compile_verified(program, linked), input, options);
   }
   return execute_tree(program, linked, input, options);
 }

@@ -28,7 +28,7 @@ struct GhostFrame {
   std::vector<Value> heap;
 };
 
-template <bool RecordTrace>
+template <bool RecordTrace, bool ValidateElision = false>
 class Machine {
 public:
   Machine(const BytecodeProgram& bc, const ExecOptions& options)
@@ -114,6 +114,24 @@ private:
                     std::to_string(arr.size) + ")");
   }
 
+  /// Validating mode only: an elided access whose index escapes the
+  /// recorded proof (or the real bounds) is a broken verifier, reported
+  /// with a distinctive text no checked execution can produce.
+  void audit_proof(const Op& op, const ArraySlot& arr, Value idx) const {
+    const ElisionProof& proof = bc_.proofs[op.b];
+    if (idx < proof.lo || idx > proof.hi || idx < 0 ||
+        static_cast<std::size_t>(idx) >= arr.size) {
+      throw ExecError(bc_.name + ": verify: index " + std::to_string(idx) +
+                      " escapes the proven range [" +
+                      std::to_string(proof.lo) + ", " +
+                      std::to_string(proof.hi) + "] of array '" + arr.name +
+                      "' (op " +
+                      std::to_string(static_cast<std::size_t>(
+                          &op - bc_.ops.data())) +
+                      ")");
+    }
+  }
+
   void ghost_enter() {
     frames_.push_back({scalars_, heap_});
     ++ghost_depth_;
@@ -153,8 +171,8 @@ private:
 #define VM_NEXT() goto vm_dispatch
 #endif
 
-template <bool RecordTrace>
-void Machine<RecordTrace>::exec_loop() {
+template <bool RecordTrace, bool ValidateElision>
+void Machine<RecordTrace, ValidateElision>::exec_loop() {
   const Op* const base = bc_.ops.data();
   const Op* ip = base;
   Value* sp = stack_.data();
@@ -191,7 +209,7 @@ vm_dispatch:
     VM_NEXT();
   }
   VM_CASE(kAddScalarImm) {
-    scalars_[ip->a] += bc_.consts[ip->b];
+    scalars_[ip->a] = wrap_add(scalars_[ip->a], bc_.consts[ip->b]);
     ++ip;
     VM_NEXT();
   }
@@ -237,39 +255,39 @@ vm_dispatch:
 
   VM_CASE(kAdd) {
     const Value r = *--sp;
-    sp[-1] = sp[-1] + r;
+    sp[-1] = wrap_add(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
   VM_CASE(kSub) {
     const Value r = *--sp;
-    sp[-1] = sp[-1] - r;
+    sp[-1] = wrap_sub(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
   VM_CASE(kMul) {
     const Value r = *--sp;
-    sp[-1] = sp[-1] * r;
+    sp[-1] = wrap_mul(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
   VM_CASE(kDiv) {
     const Value r = *--sp;
     if (r == 0) throw ExecError(bc_.err_div0);
-    sp[-1] = sp[-1] / r;
+    sp[-1] = wrap_div(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
   VM_CASE(kMod) {
     const Value r = *--sp;
     if (r == 0) throw ExecError(bc_.err_mod0);
-    sp[-1] = sp[-1] % r;
+    sp[-1] = wrap_mod(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
   VM_CASE(kShl) {
     const Value r = *--sp;
-    sp[-1] = sp[-1] << (r & 63);
+    sp[-1] = wrap_shl(sp[-1], r);
     ++ip;
     VM_NEXT();
   }
@@ -347,7 +365,7 @@ vm_dispatch:
   }
 
   VM_CASE(kNeg) {
-    sp[-1] = -sp[-1];
+    sp[-1] = wrap_neg(sp[-1]);
     ++ip;
     VM_NEXT();
   }
@@ -458,6 +476,40 @@ vm_dispatch:
     VM_NEXT();
   }
 
+  // The elided element accesses: no bounds branch, no ghost index wrap —
+  // the verifier proved the index inside [0, size) on every path, which
+  // makes the wrap the identity. Everything else (trace, tokens, the
+  // ghost store->load demotion) is byte-for-byte the checked handler.
+  VM_CASE(kLoadElemU) {
+    const ArraySlot& arr = bc_.arrays[ip->a];
+    const Value idx = sp[-1];
+    if constexpr (ValidateElision) audit_proof(*ip, arr, idx);
+    if constexpr (RecordTrace) emit_data(arr, idx, AccessKind::kLoad);
+    Value v = heap_[arr.offset + static_cast<std::size_t>(idx)];
+    if constexpr (fuzz::vm_fault_compiled_in()) {
+      if (vm_fault_pending_) {
+        vm_fault_pending_ = false;
+        v += 1;
+      }
+    }
+    sp[-1] = v;
+    ++ip;
+    VM_NEXT();
+  }
+  VM_CASE(kStoreElemU) {
+    const ArraySlot& arr = bc_.arrays[ip->a];
+    const Value value = *--sp;
+    const Value idx = *--sp;
+    if constexpr (ValidateElision) audit_proof(*ip, arr, idx);
+    if constexpr (RecordTrace) {
+      emit_data(arr, idx,
+                ghost_depth_ > 0 ? AccessKind::kLoad : AccessKind::kStore);
+    }
+    heap_[arr.offset + static_cast<std::size_t>(idx)] = value;
+    ++ip;
+    VM_NEXT();
+  }
+
 #if !MBCR_VM_USE_COMPUTED_GOTO
   }
 #endif
@@ -475,6 +527,17 @@ ExecResult run(const BytecodeProgram& bytecode, const InputVector& input,
     return machine.run(input);
   }
   Machine<false> machine(bytecode, options);
+  return machine.run(input);
+}
+
+ExecResult run_validating(const BytecodeProgram& bytecode,
+                          const InputVector& input,
+                          const ExecOptions& options) {
+  if (options.record_trace) {
+    Machine<true, true> machine(bytecode, options);
+    return machine.run(input);
+  }
+  Machine<false, true> machine(bytecode, options);
   return machine.run(input);
 }
 

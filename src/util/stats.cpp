@@ -142,11 +142,23 @@ double autocorrelation(std::span<const double> xs, std::size_t lag) {
 
 namespace {
 
+// std::lgamma writes the process-global `signgam`, which is a data race
+// when pool workers compute p-values concurrently; the _r variant returns
+// the sign through an out-parameter instead.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 double lower_incomplete_gamma_reg(double s, double x) {
   // Regularized lower incomplete gamma P(s, x) via series (x < s+1) or
   // continued fraction (otherwise). Accuracy sufficient for p-values.
   if (x <= 0.0) return 0.0;
-  const double lg = std::lgamma(s);
+  const double lg = lgamma_threadsafe(s);
   if (x < s + 1.0) {
     double sum = 1.0 / s;
     double term = sum;

@@ -10,6 +10,7 @@
 //   mbcr pub     --suite cnt                          # PUB-only baseline
 //   mbcr tac     --suite bs                           # TAC event detail
 //   mbcr list                                         # suite registry
+//   mbcr lint --fatal true                            # static verifier verdicts
 //   mbcr analyze --suite bs --json bs.json && mbcr report bs.json
 //   mbcr analyze --spec bs.json                       # replay a saved spec
 //   mbcr fuzz --programs 50 --seeds 8 --rng-seed 1    # differential fuzzing
@@ -30,6 +31,9 @@
 #include "fuzz/fuzz.hpp"
 #include "fuzz/oracles.hpp"
 #include "fuzz/repro.hpp"
+#include "ir/bytecode.hpp"
+#include "ir/lower.hpp"
+#include "ir/verify.hpp"
 #include "suite/malardalen.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -195,6 +199,60 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_lint(const SubcommandCli::Parsed& cmd) {
+  // Compile every suite kernel, run the static verifier over the checked
+  // bytecode, then elide the proven accesses and re-verify the elided
+  // program against its recorded proofs. One verdict row per kernel; any
+  // diagnostic is printed in full below the table. --fatal turns a
+  // rejection into exit 1 (the CI smoke uses it).
+  const std::string& only = cmd.str("suite");
+  const bool fatal = parse_bool("fatal", cmd.str("fatal"));
+  if (!only.empty() && suite::find(only) == nullptr) {
+    throw std::invalid_argument("unknown --suite " + only);
+  }
+
+  AsciiTable table({"kernel", "ops", "max stack", "dead ops", "elem proven",
+                    "elided", "verdict"});
+  std::size_t rejected = 0;
+  std::ostringstream diagnostics;
+  for (const suite::SuiteEntry& entry : suite::all()) {
+    if (!only.empty() && only != entry.name) continue;
+    const suite::SuiteBenchmark bench = entry.make();
+    const ir::Linked linked = ir::lower(bench.program);
+    ir::BytecodeProgram bc = ir::compile(bench.program, linked);
+    const ir::VerifyResult facts = ir::verify(bc);
+
+    std::string verdict = "ok";
+    std::size_t elided = 0;
+    if (!facts.ok()) {
+      verdict = "REJECTED";
+      ++rejected;
+      diagnostics << entry.name << ":\n" << facts.describe();
+    } else {
+      elided = ir::apply_elision(bc, facts);
+      if (const ir::VerifyResult audit = ir::verify(bc); !audit.ok()) {
+        verdict = "REJECTED (elided)";
+        ++rejected;
+        diagnostics << entry.name << " (after elision):\n" << audit.describe();
+      }
+    }
+    table.add_row({std::string(entry.name), std::to_string(bc.ops.size()),
+                   std::to_string(facts.computed_max_stack),
+                   std::to_string(facts.dead_ops.size()),
+                   std::to_string(facts.provable.size()) + "/" +
+                       std::to_string(facts.elem_ops),
+                   std::to_string(elided), verdict});
+  }
+  table.print(std::cout);
+  if (rejected > 0) {
+    std::cout << "\n" << diagnostics.str();
+    std::cout << rejected << " kernel(s) rejected by the verifier\n";
+  } else {
+    std::cout << "\nall kernels verify clean (checked and elided)\n";
+  }
+  return (fatal && rejected > 0) ? 1 : 0;
+}
+
 int cmd_report(const SubcommandCli::Parsed& cmd) {
   const std::string& path = cmd.str("file");
   std::ifstream file(path);
@@ -227,6 +285,10 @@ int main(int argc, char** argv) {
   cli.add_command({"tac", "PUB+TAC analysis with TAC event detail",
                    study_flags(false), {}});
   cli.add_command({"list", "list the benchmark suite registry", {}, {}});
+  cli.add_command({"lint",
+                   "static verifier verdicts for the suite kernels",
+                   {{"suite", ""}, {"fatal", "false"}},
+                   {}});
   cli.add_command({"report", "pretty-print a saved JSON study result",
                    {}, {"file"}});
   cli.add_command({"fuzz",
@@ -248,6 +310,7 @@ int main(int argc, char** argv) {
     if (cmd.command == "pub") return cmd_analyze(cmd, "pub");
     if (cmd.command == "tac") return cmd_tac(cmd);
     if (cmd.command == "list") return cmd_list();
+    if (cmd.command == "lint") return cmd_lint(cmd);
     if (cmd.command == "report") return cmd_report(cmd);
     if (cmd.command == "fuzz") return cmd_fuzz(cmd);
     std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# clang-tidy over the repo sources, driven by the compile database.
+#
+#   tools/run-tidy.sh [build-dir] [file...]
+#
+# With no file arguments, lints every .cpp under src/ and tools/. Pass
+# explicit files (e.g. a git diff) to lint just those — the CI diff step
+# does exactly that:
+#
+#   git diff --name-only origin/main...HEAD -- 'src/*.cpp' 'tools/*.cpp' \
+#     | xargs tools/run-tidy.sh build
+#
+# The build dir must have been configured already (compile_commands.json
+# is exported unconditionally; see CMakeLists.txt).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "run-tidy: $build/compile_commands.json not found;" \
+       "configure the build first (cmake -B \"$build\" -S \"$repo\")" >&2
+  exit 2
+fi
+
+tidy=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run-tidy: $tidy not found (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+if [ $# -gt 0 ]; then
+  files=$*
+else
+  files=$(find "$repo/src" "$repo/tools" -name '*.cpp' | sort)
+fi
+
+[ -z "$files" ] && { echo "run-tidy: nothing to lint"; exit 0; }
+
+# shellcheck disable=SC2086 — word splitting of $files is intended.
+exec "$tidy" -p "$build" --quiet $files
