@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -29,6 +30,7 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
 
   // 2. Probe campaign: typical execution time (anchors TAC's threshold).
   {
+    obs::Span span("probe");
     platform::CampaignConfig probe_cfg = config_.campaign;
     probe_cfg.master_seed = mix64(0x9b0be, config_.campaign.master_seed);
     const std::vector<double> probe = platform::run_campaign(
@@ -39,6 +41,7 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
   // 3. TAC on the trace (both cache sides, plus the unified L2 when the
   // hierarchy is enabled).
   if (with_tac) {
+    obs::Span span("tac");
     out.tac = tac::analyze_trace(
         exec.trace, config_.machine.il1, config_.machine.dl1,
         out.baseline_cycles,
@@ -53,23 +56,30 @@ PathAnalysis Analyzer::analyze_program(const ir::Program& program,
   platform::CampaignSampler sampler(machine_, trace, config_.campaign);
   mbpta::ConvergenceConfig conv = config_.convergence;
   conv.probability = config_.pwcet_probability;
-  mbpta::ConvergenceResult convergence = mbpta::converge_stream(
-      [&sampler](std::vector<double>& sample, std::size_t k) {
-        sampler.append_to(sample, k);
-      },
-      conv);
+  mbpta::ConvergenceResult convergence = [&] {
+    obs::Span span("converge");
+    return mbpta::converge_stream(
+        [&sampler](std::vector<double>& sample, std::size_t k) {
+          sampler.append_to(sample, k);
+        },
+        conv);
+  }();
   out.r_mbpta = convergence.runs;
 
   // 5. Extend the campaign to the TAC-required size, then fit pWCETs.
   out.r_total = std::max(out.r_mbpta, out.r_tac);
   if (convergence.sample.size() < out.r_total) {
+    obs::Span span("extend");
     sampler.append_to(convergence.sample,
                       out.r_total - convergence.sample.size());
   }
-  out.pwcet_converged_only = mbpta::PwcetCurve(
-      std::span<const double>(convergence.sample.data(), out.r_mbpta),
-      conv.evt);
-  out.pwcet = mbpta::PwcetCurve(convergence.sample, conv.evt);
+  {
+    obs::Span span("evt_fit");
+    out.pwcet_converged_only = mbpta::PwcetCurve(
+        std::span<const double>(convergence.sample.data(), out.r_mbpta),
+        conv.evt);
+    out.pwcet = mbpta::PwcetCurve(convergence.sample, conv.evt);
+  }
   // Architectural ceiling: no run can cost more than every access missing
   // at every level (with a hierarchy, a full miss adds the L2 probe on top
   // of the memory latency).
@@ -98,7 +108,10 @@ PathAnalysis Analyzer::analyze_original(const ir::Program& program,
 PathAnalysis Analyzer::analyze_pubbed(const ir::Program& program,
                                       const ir::InputVector& input,
                                       bool with_tac) const {
-  const ir::Program pubbed = pub::apply_pub(program, config_.pub);
+  const ir::Program pubbed = [&] {
+    obs::Span span("pub");
+    return pub::apply_pub(program, config_.pub);
+  }();
   return analyze_program(pubbed, input, with_tac);
 }
 
@@ -137,7 +150,10 @@ Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(
   // cannot change any result; per_path order always matches `inputs`.
   // analyze_program itself runs nested campaigns on the same pool — safe
   // because parallel_for is re-entrant (the claiming thread participates).
-  const ir::Program pubbed = pub::apply_pub(program, config_.pub);
+  const ir::Program pubbed = [&] {
+    obs::Span span("pub");
+    return pub::apply_pub(program, config_.pub);
+  }();
   MultiPathAnalysis out;
   out.per_path.resize(inputs.size());
   ThreadPool::shared().parallel_for(

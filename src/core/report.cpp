@@ -71,6 +71,13 @@ void print_study(std::ostream& os, const StudyResult& result) {
        << "  max=" << fmt(mx, 0) << "\n";
   }
   os << "\nplatform runs executed: " << result.runs_executed << "\n";
+  if (result.accounting.collected) {
+    const RunAccounting& acc = result.accounting;
+    os << "accounting: wall=" << fmt(acc.wall_s, 2)
+       << "s user=" << fmt(acc.user_cpu_s, 2)
+       << "s sys=" << fmt(acc.sys_cpu_s, 2)
+       << "s max_rss=" << acc.max_rss_kb << "kB\n";
+  }
 }
 
 namespace {
@@ -94,13 +101,15 @@ std::string prob_text(double p) {
 void print_study_json(std::ostream& os, const json::Value& doc) {
   // Each schema rev carries a strict superset of the previous one's
   // members (v2 added the hierarchy/placement, v3 the campaign batch
-  // width, v4 the IR executor), so one reader serves all of them.
+  // width, v4 the IR executor, v5 the optional accounting/metrics
+  // observability blocks), so one reader serves all of them.
   const std::string schema = str_or(doc.find("schema"), "");
   if (schema != "mbcr-study-v1" && schema != "mbcr-study-v2" &&
-      schema != "mbcr-study-v3" && schema != "mbcr-study-v4") {
+      schema != "mbcr-study-v3" && schema != "mbcr-study-v4" &&
+      schema != "mbcr-study-v5") {
     throw std::runtime_error(
         "not a study result (expected schema \"mbcr-study-v1\" ... "
-        "\"mbcr-study-v4\")");
+        "\"mbcr-study-v5\")");
   }
   const json::Value* spec = doc.find("spec");
   const double probability =
@@ -146,6 +155,13 @@ void print_study_json(std::ostream& os, const json::Value& doc) {
   }
   os << "\nplatform runs executed: "
      << fmt(num_or(doc.find("runs_executed"), 0), 0) << "\n";
+  if (const json::Value* acc = doc.find("accounting")) {
+    os << "accounting: wall=" << fmt(num_or(acc->find("wall_s"), 0), 2)
+       << "s user=" << fmt(num_or(acc->find("user_cpu_s"), 0), 2)
+       << "s sys=" << fmt(num_or(acc->find("sys_cpu_s"), 0), 2)
+       << "s max_rss=" << fmt(num_or(acc->find("max_rss_kb"), 0), 0)
+       << "kB\n";
+  }
 }
 
 }  // namespace mbcr::core

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "ir/randprog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "suite/malardalen.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -700,7 +707,7 @@ json::Value StudyResult::to_json() const {
   const double probability = spec.config.pwcet_probability;
   json::Object doc;
   doc.reserve(7);
-  doc.emplace_back("schema", "mbcr-study-v4");
+  doc.emplace_back("schema", "mbcr-study-v5");
   doc.emplace_back("spec", spec.to_json());
   doc.emplace_back("program", program_name);
   {
@@ -739,6 +746,21 @@ json::Value StudyResult::to_json() const {
     doc.emplace_back("samples", std::move(arr));
   }
   doc.emplace_back("runs_executed", runs_executed);
+  // Both observability blocks are strictly additive: absent unless the
+  // layer was enabled, so default documents stay byte-identical whether
+  // or not the instrumentation is compiled in.
+  if (accounting.collected) {
+    json::Object acc;
+    acc.reserve(4);
+    acc.emplace_back("wall_s", accounting.wall_s);
+    acc.emplace_back("user_cpu_s", accounting.user_cpu_s);
+    acc.emplace_back("sys_cpu_s", accounting.sys_cpu_s);
+    acc.emplace_back("max_rss_kb", accounting.max_rss_kb);
+    doc.emplace_back("accounting", json::Value(std::move(acc)));
+  }
+  if (metrics.has_value()) {
+    doc.emplace_back("metrics", *metrics);
+  }
   return json::Value(std::move(doc));
 }
 
@@ -769,7 +791,37 @@ void StudyResult::write_csv(std::ostream& os) const {
   }
 }
 
+namespace {
+
+/// getrusage snapshot for RunAccounting deltas; zeros off-POSIX.
+struct UsageSnapshot {
+  double user_cpu_s = 0.0;
+  double sys_cpu_s = 0.0;
+  std::int64_t max_rss_kb = 0;
+
+  static UsageSnapshot now() {
+    UsageSnapshot snap;
+#if defined(__unix__) || defined(__APPLE__)
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      snap.user_cpu_s = static_cast<double>(ru.ru_utime.tv_sec) +
+                        static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+      snap.sys_cpu_s = static_cast<double>(ru.ru_stime.tv_sec) +
+                       static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+      snap.max_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);
+    }
+#endif
+    return snap;
+  }
+};
+
+}  // namespace
+
 StudyResult run_study(const StudySpec& requested) {
+  obs::Span study_span("study");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const UsageSnapshot usage_start = UsageSnapshot::now();
+
   StudySpec spec = requested;
   if (spec.mode == StudyMode::kMultipath &&
       spec.inputs == InputSelection::kDefault) {
@@ -823,6 +875,19 @@ StudyResult run_study(const StudySpec& requested) {
       out.runs_executed += spec.config.baseline_probe_runs +
                            std::max(pa.r_total, pa.pwcet.sample_size());
     }
+  }
+
+  if (obs::enabled()) {
+    const UsageSnapshot usage_end = UsageSnapshot::now();
+    out.accounting.collected = true;
+    out.accounting.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    out.accounting.user_cpu_s = usage_end.user_cpu_s - usage_start.user_cpu_s;
+    out.accounting.sys_cpu_s = usage_end.sys_cpu_s - usage_start.sys_cpu_s;
+    out.accounting.max_rss_kb = usage_end.max_rss_kb;
+    out.metrics = obs::metrics_json();
   }
   return out;
 }

@@ -101,6 +101,19 @@ struct MeasureSample {
   std::vector<double> times;
 };
 
+/// Process-level cost of executing a study: wall clock plus getrusage
+/// (user/sys CPU and the max-RSS high-water mark). Only collected while
+/// the observability layer is enabled (`--metrics-json` / `--progress`);
+/// `StudyResult::to_json` omits the block entirely otherwise, so default
+/// output stays byte-identical with the instrumentation compiled in.
+struct RunAccounting {
+  bool collected = false;
+  double wall_s = 0.0;      ///< wall-clock time of run_study
+  double user_cpu_s = 0.0;  ///< user CPU across all threads (delta)
+  double sys_cpu_s = 0.0;   ///< system CPU across all threads (delta)
+  std::int64_t max_rss_kb = 0;  ///< process peak RSS (absolute, not delta)
+};
+
 struct StudyResult {
   StudySpec spec;            ///< the spec as executed (after normalization)
   std::string program_name;  ///< resolved name, e.g. "bs.pub"
@@ -111,6 +124,12 @@ struct StudyResult {
   /// Every platform run paid for: per path, probe + campaign runs; per
   /// measure sample, its campaign size.
   std::size_t runs_executed = 0;
+
+  /// Filled by run_study only when obs::enabled() (absent by default).
+  RunAccounting accounting;
+  /// Metrics snapshot (obs::metrics_json) taken as run_study returns;
+  /// emitted as the optional "metrics" member. Absent by default.
+  std::optional<json::Value> metrics;
 
   /// Corollary 2 over `paths`: the lowest pWCET at `p` across analyzed
   /// pubbed paths (0 when no paths).

@@ -10,6 +10,8 @@
 #include "fuzz/repro.hpp"
 #include "fuzz/shrink.hpp"
 #include "ir/randprog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "util/rng.hpp"
 
 namespace mbcr::fuzz {
@@ -38,6 +40,24 @@ std::string repro_filename(const FuzzFailure& failure) {
   ss << "fuzz-" << failure.oracle << "-" << std::hex << failure.case_seed
      << ".json";
   return ss.str();
+}
+
+/// End-of-run observability: the throughput gauge and the final progress
+/// line. Called on every run_fuzz exit path.
+void finish_fuzz_obs(const FuzzReport& report,
+                     std::chrono::steady_clock::time_point start) {
+#if defined(MBCR_OBS_DISABLED)
+  (void)report, (void)start;
+#else
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (obs::enabled() && elapsed > 0.0) {
+    obs::gauge("fuzz.cases_per_sec")
+        .set(static_cast<double>(report.cases_run) / elapsed);
+  }
+  obs::progress_done("fuzz", report.cases_run, "cases");
+#endif
 }
 
 }  // namespace
@@ -113,14 +133,57 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     return index < config.programs;
   };
 
+#if !defined(MBCR_OBS_DISABLED)
+  // Per-oracle wall time + run counts, keyed "fuzz.oracle.<name>.*". The
+  // vector parallels `selected`; registration happens once per run_fuzz so
+  // the hot loop only does relaxed shard adds.
+  struct OracleMetrics {
+    obs::Counter runs;
+    obs::Counter wall_ns;
+  };
+  std::vector<OracleMetrics> oracle_metrics;
+  const bool collect = obs::enabled();
+  if (collect) {
+    oracle_metrics.reserve(selected.size());
+    for (const Oracle* oracle : selected) {
+      const std::string base = std::string("fuzz.oracle.") + oracle->name;
+      oracle_metrics.push_back({obs::counter(base + ".runs"),
+                                obs::counter(base + ".wall_ns")});
+    }
+  }
+  const obs::Counter cases_counter = obs::counter("fuzz.cases");
+#endif
+
   FuzzReport report;
   for (std::size_t index = 0; within_budget(index); ++index) {
     const FuzzCaseData data = make_case(config.rng_seed, index, config.seeds);
     ++report.cases_run;
-    for (const Oracle* oracle : selected) {
+#if !defined(MBCR_OBS_DISABLED)
+    if (collect) cases_counter.add(1);
+    if (obs::progress_enabled()) {
+      obs::progress_tick("fuzz", report.cases_run,
+                         config.time_budget_s > 0 ? 0 : config.programs,
+                         "cases");
+    }
+#endif
+    for (std::size_t oi = 0; oi < selected.size(); ++oi) {
+      const Oracle* oracle = selected[oi];
       ++report.oracle_runs;
+#if !defined(MBCR_OBS_DISABLED)
+      const auto oracle_t0 = collect ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
+#endif
       const OracleOutcome outcome =
           oracle->run(data, config.inject_fault_for_test);
+#if !defined(MBCR_OBS_DISABLED)
+      if (collect) {
+        oracle_metrics[oi].runs.add(1);
+        oracle_metrics[oi].wall_ns.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - oracle_t0)
+                .count()));
+      }
+#endif
       if (outcome.ok) continue;
 
       FuzzFailure failure;
@@ -165,10 +228,14 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
       }
 
       report.failures.push_back(std::move(failure));
-      if (report.failures.size() >= config.max_failures) return report;
+      if (report.failures.size() >= config.max_failures) {
+        finish_fuzz_obs(report, start);
+        return report;
+      }
       break;  // one failure per case is enough; move to the next case
     }
   }
+  finish_fuzz_obs(report, start);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include "ir/bytecode.hpp"
 #include "ir/verify.hpp"
 #include "ir/vm.hpp"
+#include "obs/trace.hpp"
 
 namespace mbcr::ir {
 
@@ -315,6 +316,7 @@ Executor parse_executor(const std::string& text) {
 
 ExecResult execute(const Program& program, const Linked& linked,
                    const InputVector& input, const ExecOptions& options) {
+  obs::Span span("execute");
   if (options.executor == Executor::kVm) {
     // Fail-closed pipeline: the verifier gates every program before the VM
     // sees it, and its in-bounds proofs elide the per-access bounds branch.
@@ -331,7 +333,10 @@ ExecResult execute_tree(const Program& program, const Linked& linked,
 
 ExecResult lower_and_execute(const Program& program, const InputVector& input,
                              const ExecOptions& options) {
-  const Linked linked = lower(program);
+  const Linked linked = [&] {
+    obs::Span span("lower");
+    return lower(program);
+  }();
   return execute(program, linked, input, options);
 }
 

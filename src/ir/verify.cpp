@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "fuzz/fault.hpp"
+#include "obs/trace.hpp"
 
 namespace mbcr::ir {
 
@@ -1120,7 +1121,11 @@ std::size_t apply_elision(BytecodeProgram& bc, const VerifyResult& facts) {
 }
 
 BytecodeProgram compile_verified(const Program& program, const Linked& linked) {
-  BytecodeProgram bc = compile(program, linked);
+  BytecodeProgram bc = [&] {
+    obs::Span span("compile");
+    return compile(program, linked);
+  }();
+  obs::Span span("verify");
   const VerifyResult facts = verify(bc);
   if (!facts.ok()) {
     throw VerifyError(bc.name + ": verifier rejected compiled bytecode:\n" +

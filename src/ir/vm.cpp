@@ -1,9 +1,13 @@
 #include "ir/vm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "fuzz/fault.hpp"
+#include "obs/metrics.hpp"
 
 // Dispatch strategy: direct-threaded computed goto where the compiler
 // supports it (GCC/Clang label-as-value extension), plain switch loop
@@ -28,7 +32,25 @@ struct GhostFrame {
   std::vector<Value> heap;
 };
 
-template <bool RecordTrace, bool ValidateElision = false>
+#if !defined(MBCR_OBS_DISABLED)
+/// One counter per opcode, "vm.op.kHalt" style, registered on first use.
+/// Tally machines accumulate dispatch counts in a local array and flush
+/// them here once per run, so the dispatch loop never touches a shard.
+const obs::Counter* op_counters() {
+  static const std::vector<obs::Counter>* table = [] {
+    auto* t = new std::vector<obs::Counter>;
+    t->reserve(kOpCodeCount);
+    for (std::size_t i = 0; i < kOpCodeCount; ++i) {
+      t->push_back(obs::counter(std::string("vm.op.") +
+                                to_string(static_cast<OpCode>(i))));
+    }
+    return t;
+  }();
+  return table->data();
+}
+#endif
+
+template <bool RecordTrace, bool ValidateElision = false, bool Tally = false>
 class Machine {
 public:
   Machine(const BytecodeProgram& bc, const ExecOptions& options)
@@ -62,6 +84,15 @@ public:
     trips_.assign(bc_.loops.size(), 0);
 
     exec_loop();
+
+#if !defined(MBCR_OBS_DISABLED)
+    if constexpr (Tally) {
+      const obs::Counter* ops = op_counters();
+      for (std::size_t i = 0; i < kOpCodeCount; ++i) {
+        if (tally_[i] != 0) ops[i].add(tally_[i]);
+      }
+    }
+#endif
 
     ExecResult result;
     result.trace = std::move(trace_);
@@ -157,6 +188,8 @@ private:
   std::vector<std::uint64_t> tokens_;
   PathSignature path_;
   std::uint64_t steps_ = 0;
+  // Per-opcode dispatch counts; dead weight (never read) unless Tally.
+  std::array<std::uint64_t, kOpCodeCount> tally_{};
   // MBCR_VM_FAULT self-test bug (see fuzz/fault.hpp): when compiled in and
   // armed, the first element load of a run yields value+1.
   bool vm_fault_pending_ =
@@ -165,14 +198,22 @@ private:
 
 #if MBCR_VM_USE_COMPUTED_GOTO
 #define VM_CASE(name) lbl_##name:
-#define VM_NEXT() goto* kDispatchTable[static_cast<std::size_t>(ip->code)]
+// The tally increment compiles away entirely unless this Machine was
+// instantiated with Tally (which only happens while obs is enabled).
+#define VM_NEXT()                                                     \
+  do {                                                                \
+    if constexpr (Tally) {                                            \
+      ++tally_[static_cast<std::size_t>(ip->code)];                   \
+    }                                                                 \
+    goto* kDispatchTable[static_cast<std::size_t>(ip->code)];         \
+  } while (0)
 #else
 #define VM_CASE(name) case OpCode::name:
 #define VM_NEXT() goto vm_dispatch
 #endif
 
-template <bool RecordTrace, bool ValidateElision>
-void Machine<RecordTrace, ValidateElision>::exec_loop() {
+template <bool RecordTrace, bool ValidateElision, bool Tally>
+void Machine<RecordTrace, ValidateElision, Tally>::exec_loop() {
   const Op* const base = bc_.ops.data();
   const Op* ip = base;
   Value* sp = stack_.data();
@@ -188,6 +229,9 @@ void Machine<RecordTrace, ValidateElision>::exec_loop() {
   VM_NEXT();
 #else
 vm_dispatch:
+  // Switch dispatch funnels every op through this label, so one increment
+  // here covers all dispatches (the computed-goto path counts in VM_NEXT).
+  if constexpr (Tally) ++tally_[static_cast<std::size_t>(ip->code)];
   switch (ip->code) {
 #endif
 
@@ -522,6 +566,18 @@ vm_dispatch:
 
 ExecResult run(const BytecodeProgram& bytecode, const InputVector& input,
                const ExecOptions& options) {
+#if !defined(MBCR_OBS_DISABLED)
+  // Tally machines are separate instantiations so the default dispatch
+  // loops carry zero instrumentation; selected only while obs is on.
+  if (obs::enabled()) {
+    if (options.record_trace) {
+      Machine<true, false, true> machine(bytecode, options);
+      return machine.run(input);
+    }
+    Machine<false, false, true> machine(bytecode, options);
+    return machine.run(input);
+  }
+#endif
   if (options.record_trace) {
     Machine<true> machine(bytecode, options);
     return machine.run(input);
@@ -533,6 +589,16 @@ ExecResult run(const BytecodeProgram& bytecode, const InputVector& input,
 ExecResult run_validating(const BytecodeProgram& bytecode,
                           const InputVector& input,
                           const ExecOptions& options) {
+#if !defined(MBCR_OBS_DISABLED)
+  if (obs::enabled()) {
+    if (options.record_trace) {
+      Machine<true, true, true> machine(bytecode, options);
+      return machine.run(input);
+    }
+    Machine<false, true, true> machine(bytecode, options);
+    return machine.run(input);
+  }
+#endif
   if (options.record_trace) {
     Machine<true, true> machine(bytecode, options);
     return machine.run(input);

@@ -1,0 +1,170 @@
+// Observability: the process-wide metrics registry.
+//
+// Counters, gauges and fixed-bucket (power-of-two) histograms, designed so
+// the measured pipeline pays nothing it can notice:
+//
+//   - Compile gate: configuring with -DMBCR_OBS=OFF defines
+//     MBCR_OBS_DISABLED and every operation below compiles to an empty
+//     inline body; `enabled()` folds to `false`, so `if (obs::enabled())`
+//     instrumentation blocks are dead-code-eliminated.
+//   - Runtime gate: with observability compiled in, collection is off
+//     until `set_enabled(true)` (the CLI flips it for --metrics-json /
+//     --progress). A disabled update is one relaxed atomic load.
+//   - Thread-local shards: an enabled counter update is a relaxed
+//     fetch_add on a slot owned by the calling thread — no shared cache
+//     line, no lock. `metrics_json()` merges every shard under the
+//     registry mutex; slot storage is block-based and append-only, so a
+//     snapshot never races shard growth.
+//
+// None of this may perturb results: instrumentation only ever *reads* the
+// engine's state, and tests/obs/equivalence_test.cpp proves metrics-on
+// runs bit-identical to metrics-off runs across the engine grid.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace mbcr::obs {
+
+#if defined(MBCR_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+#if !defined(MBCR_OBS_DISABLED)
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+/// Adds `n` to the calling thread's shard slot (registering the shard and
+/// growing its block list on first touch of a new slot range).
+void shard_add(std::uint32_t slot, std::uint64_t n) noexcept;
+/// Two adds, one thread-local shard lookup — for hot paths that always
+/// update a pair of counters together (replay run + entry tallies live
+/// under the <2% collection-overhead budget the bench gate pins).
+void shard_add2(std::uint32_t slot_a, std::uint64_t a, std::uint32_t slot_b,
+                std::uint64_t b) noexcept;
+}  // namespace detail
+#endif
+
+/// The runtime collection gate. Constant `false` when compiled out.
+inline bool enabled() noexcept {
+#if defined(MBCR_OBS_DISABLED)
+  return false;
+#else
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Flips the runtime gate (no-op when compiled out).
+void set_enabled(bool on) noexcept;
+
+/// A monotonically increasing event count. Copyable, trivially small;
+/// obtain via `counter(name)` and cache (function-local static) at the
+/// call site.
+class Counter {
+public:
+  void add(std::uint64_t n = 1) const noexcept {
+#if defined(MBCR_OBS_DISABLED)
+    (void)n;
+#else
+    if (!enabled()) return;
+    detail::shard_add(slot_, n);
+#endif
+  }
+
+private:
+  friend Counter counter(std::string_view name);
+  friend void add_pair(const Counter& a, std::uint64_t na, const Counter& b,
+                       std::uint64_t nb) noexcept;
+  std::uint32_t slot_ = 0;
+};
+
+/// Adds to two counters with a single enabled-gate check and a single
+/// thread-local shard lookup. Use where a pair is always bumped together
+/// on a per-run hot path; everywhere else plain `Counter::add` reads
+/// better.
+inline void add_pair(const Counter& a, std::uint64_t na, const Counter& b,
+                     std::uint64_t nb) noexcept {
+#if defined(MBCR_OBS_DISABLED)
+  (void)a;
+  (void)na;
+  (void)b;
+  (void)nb;
+#else
+  if (!enabled()) return;
+  detail::shard_add2(a.slot_, na, b.slot_, nb);
+#endif
+}
+
+/// A last-write-wins instantaneous value (queue depth, rates computed at
+/// the end of a phase). Global, not sharded — sets are rare.
+class Gauge {
+public:
+  void set(double value) const noexcept {
+#if defined(MBCR_OBS_DISABLED)
+    (void)value;
+#else
+    if (!enabled() || cell_ == nullptr) return;
+    cell_->store(value, std::memory_order_relaxed);
+#endif
+  }
+
+private:
+  friend Gauge gauge(std::string_view name);
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// A power-of-two-bucket histogram: bucket 0 holds zeros, bucket i >= 1
+/// holds values in [2^(i-1), 2^i). Count and sum ride along, so snapshots
+/// can report the mean without a separate counter.
+class Histogram {
+public:
+  static constexpr std::uint32_t kBuckets = 32;
+
+  void record(std::uint64_t value) const noexcept {
+#if defined(MBCR_OBS_DISABLED)
+    (void)value;
+#else
+    if (!enabled()) return;
+    const auto width = static_cast<std::uint32_t>(std::bit_width(value));
+    const std::uint32_t bucket = width < kBuckets ? width : kBuckets - 1;
+    detail::shard_add(slot_ + bucket, 1);
+    detail::shard_add(slot_ + kBuckets, 1);      // count
+    detail::shard_add(slot_ + kBuckets + 1, value);  // sum
+#endif
+  }
+
+private:
+  friend Histogram histogram(std::string_view name);
+  std::uint32_t slot_ = 0;
+};
+
+/// Registers (or looks up) a metric by name. Registration takes the
+/// registry mutex; cache the handle at the call site. When compiled out
+/// these return inert handles without touching any global state.
+Counter counter(std::string_view name);
+Gauge gauge(std::string_view name);
+Histogram histogram(std::string_view name);
+
+/// A merged snapshot of every shard:
+///   {"counters": {...}, "gauges": {...}, "histograms": {name:
+///    {"count": n, "sum": s, "buckets": {"<=max": n, ...}}}}
+/// Keys are sorted by name; zero-valued buckets are omitted. Safe to call
+/// concurrently with updates (relaxed reads; a snapshot is a consistent
+/// point-in-time view per slot, not across slots).
+json::Value metrics_json();
+
+/// The snapshot wrapped as a standalone document:
+///   {"schema": "mbcr-metrics-v1", "counters": ..., ...}
+json::Value metrics_document();
+
+/// Zeroes every counter, gauge and histogram slot (registrations remain).
+/// Tests use this to isolate scenarios inside one process.
+void reset_metrics();
+
+}  // namespace mbcr::obs

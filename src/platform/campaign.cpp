@@ -1,11 +1,40 @@
 #include "platform/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mbcr::platform {
+
+#if !defined(MBCR_OBS_DISABLED)
+namespace {
+
+/// Campaign-engine metrics, registered once. Instrumentation only reads
+/// engine state and touches thread-local shards: the sample written to
+/// `out` is bit-identical with collection on or off (pinned by
+/// tests/obs/equivalence_test.cpp).
+struct CampaignMetrics {
+  obs::Counter runs = obs::counter("campaign.runs");
+  obs::Counter chunks = obs::counter("campaign.chunks");
+  obs::Counter tiny_trace_fallback =
+      obs::counter("campaign.tiny_trace_fallback");
+  obs::Histogram batch_width = obs::histogram("campaign.batch_width");
+  obs::Gauge runs_per_sec = obs::gauge("campaign.runs_per_sec");
+};
+
+const CampaignMetrics& campaign_metrics() {
+  static const CampaignMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif
 
 void run_campaign_into(const Machine& machine, const CompactTrace& trace,
                        std::size_t runs, double* out,
@@ -20,6 +49,9 @@ void run_campaign_into(const Machine& machine, const CompactTrace& trace,
   const std::size_t batch = trace.size() < kBatchMinTraceEntries
                                 ? 1
                                 : std::max<std::size_t>(1, config.batch);
+  obs::Span span("campaign");
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> runs_done{0};
   pool->parallel_for(
       runs, grain,
       [&](std::size_t begin, std::size_t end) {
@@ -48,8 +80,46 @@ void run_campaign_into(const Machine& machine, const CompactTrace& trace,
           }
           i += width;
         }
+#if !defined(MBCR_OBS_DISABLED)
+        // Once per chunk (>= grain runs), outside the replay loops: the
+        // shard updates and the shared progress cursor are invisible to
+        // the deterministic per-run seed schedule.
+        if (obs::enabled()) {
+          const CampaignMetrics& m = campaign_metrics();
+          m.runs.add(end - begin);
+          m.chunks.add(1);
+          if (batch == 1 && trace.size() < kBatchMinTraceEntries) {
+            m.tiny_trace_fallback.add(end - begin);
+          }
+          for (std::size_t i = begin; i < end; i += batch) {
+            m.batch_width.record(std::min(batch, end - i));
+          }
+        }
+        if (obs::progress_enabled()) {
+          const std::size_t done =
+              runs_done.fetch_add(end - begin,
+                                  std::memory_order_relaxed) +
+              (end - begin);
+          obs::progress_tick("campaign", done, runs, "runs");
+        }
+#endif
       },
       max_helpers);
+#if !defined(MBCR_OBS_DISABLED)
+  if (obs::enabled()) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      campaign_start)
+            .count();
+    if (elapsed > 0.0) {
+      campaign_metrics().runs_per_sec.set(static_cast<double>(runs) /
+                                          elapsed);
+    }
+  }
+#else
+  (void)campaign_start;
+  (void)runs_done;
+#endif
 }
 
 std::vector<double> run_campaign(const Machine& machine,

@@ -5,6 +5,7 @@
 
 #include "cache/lru_cache.hpp"
 #include "cache/random_cache.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 #ifdef MBCR_FUZZ_FAULT
@@ -365,6 +366,42 @@ void replay_hierarchy_batch(const CompactTrace& trace, BatchSide& il1,
   for (std::size_t b = 0; b < batch; ++b) cycles[b] += base_cycles;
 }
 
+#if !defined(MBCR_OBS_DISABLED)
+
+/// Replay-path tallies, one triple per machine flavor. Flushed once per
+/// run (one fused pair-add) or once per batch, so the crc replay path
+/// stays within the <2% collection-overhead budget the bench gate pins.
+struct FlavorCounters {
+  obs::Counter runs;
+  obs::Counter batch_runs;
+  obs::Counter entries;
+};
+
+enum class Flavor : std::size_t { kSingleLevel = 0, kL2Random, kL2Lru };
+
+const FlavorCounters& flavor_counters(Flavor f) {
+  static const FlavorCounters table[3] = {
+      {obs::counter("replay.single_level.runs"),
+       obs::counter("replay.single_level.batch_runs"),
+       obs::counter("replay.single_level.entries")},
+      {obs::counter("replay.l2_random.runs"),
+       obs::counter("replay.l2_random.batch_runs"),
+       obs::counter("replay.l2_random.entries")},
+      {obs::counter("replay.l2_lru.runs"),
+       obs::counter("replay.l2_lru.batch_runs"),
+       obs::counter("replay.l2_lru.entries")},
+  };
+  return table[static_cast<std::size_t>(f)];
+}
+
+Flavor flavor_of(const MachineConfig& config) {
+  if (!config.l2.enabled) return Flavor::kSingleLevel;
+  return config.l2.policy == L2Policy::kRandom ? Flavor::kL2Random
+                                               : Flavor::kL2Lru;
+}
+
+#endif  // !MBCR_OBS_DISABLED
+
 }  // namespace
 
 Machine::Machine(const MachineConfig& config) : config_(config) {
@@ -390,6 +427,14 @@ void Machine::run_batch(const CompactTrace& trace,
                         std::uint64_t* out) const {
   const std::size_t batch = seeds.size();
   if (batch == 0) return;
+#if !defined(MBCR_OBS_DISABLED)
+  if (obs::enabled()) {
+    const FlavorCounters& fc = flavor_counters(flavor_of(config_));
+    fc.runs.add(batch);
+    fc.batch_runs.add(batch);
+    fc.entries.add(trace.size() * batch);
+  }
+#endif
   std::fill(out, out + batch, 0);
   BatchSide il1(config_.il1, trace.ilines, kIl1Placement, kIl1Replacement,
                 seeds, ws, ws.il1_tags, ws.il1_set_of, ws.il1_rng);
@@ -416,6 +461,12 @@ void Machine::run_batch(const CompactTrace& trace,
 std::uint64_t Machine::run_once(const CompactTrace& trace,
                                 std::uint64_t run_seed,
                                 RunWorkspace& ws) const {
+#if !defined(MBCR_OBS_DISABLED)
+  if (obs::enabled()) {
+    const FlavorCounters& fc = flavor_counters(flavor_of(config_));
+    obs::add_pair(fc.runs, 1, fc.entries, trace.size());
+  }
+#endif
   FastSide il1(config_.il1, trace.ilines, mix64(kIl1Placement, run_seed),
                mix64(kIl1Replacement, run_seed), ws.il1_tags, ws.il1_set_of);
   FastSide dl1(config_.dl1, trace.dlines, mix64(kDl1Placement, run_seed),

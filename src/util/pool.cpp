@@ -2,8 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
 
 namespace mbcr {
+
+#if !defined(MBCR_OBS_DISABLED)
+namespace {
+
+/// Pool health metrics. Per-worker utilization is derived offline as
+/// busy_ns / (workers * wall): the registry stays label-free, so we tally
+/// aggregate busy time and let the reader divide.
+struct PoolMetrics {
+  obs::Counter tasks = obs::counter("pool.tasks");
+  obs::Counter busy_ns = obs::counter("pool.busy_ns");
+  obs::Histogram chunk_us = obs::histogram("pool.chunk_us");
+  obs::Gauge queue_depth = obs::gauge("pool.queue_depth");
+  obs::Gauge workers = obs::gauge("pool.workers");
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif
 
 /// Shared state of one parallel_for: an atomic cursor over [0, n) plus
 /// completion accounting. Held by shared_ptr so a worker that dequeues the
@@ -55,6 +80,12 @@ void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(fn));
+#if !defined(MBCR_OBS_DISABLED)
+    if (obs::enabled()) {
+      pool_metrics().queue_depth.set(static_cast<double>(queue_.size()));
+      pool_metrics().workers.set(static_cast<double>(threads_.size()));
+    }
+#endif
   }
   wake_.notify_one();
 }
@@ -71,7 +102,21 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     idle_.fetch_sub(1, std::memory_order_relaxed);
+#if !defined(MBCR_OBS_DISABLED)
+    if (obs::enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      pool_metrics().tasks.add(1);
+      pool_metrics().busy_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      fn();
+    }
+#else
     fn();
+#endif
     idle_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -85,7 +130,20 @@ void ThreadPool::drive(const std::shared_ptr<ForJob>& job) {
       const std::size_t begin = c * job->grain;
       const std::size_t end = std::min(job->n, begin + job->grain);
       try {
+#if !defined(MBCR_OBS_DISABLED)
+        if (obs::enabled()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          (*job->body)(begin, end);
+          pool_metrics().chunk_us.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } else {
+          (*job->body)(begin, end);
+        }
+#else
         (*job->body)(begin, end);
+#endif
       } catch (...) {
         std::lock_guard<std::mutex> lock(job->mutex);
         if (!job->error) job->error = std::current_exception();

@@ -457,7 +457,11 @@ TEST(StudyResult, JsonRoundTrips) {
   result.write_json(ss);
   const json::Value doc = json::parse(ss.str());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v4");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v5");
+  // Observability off: the optional accounting/metrics blocks must be
+  // absent so default documents stay byte-identical across builds.
+  EXPECT_EQ(doc.find("accounting"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
   EXPECT_EQ(doc.at("spec").at("executor").as_string(), "vm");
   EXPECT_EQ(doc.at("program").as_string(), "bs.pub");
   EXPECT_EQ(doc.at("spec").at("mode").as_string(), "pub_tac");

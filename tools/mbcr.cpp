@@ -19,12 +19,14 @@
 // All subcommands accept the StudySpec flag surface (see `mbcr analyze
 // --help`); results can be emitted as JSON (--json FILE) and CSV
 // (--csv FILE), with "-" meaning stdout.
+#include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/report.hpp"
 #include "core/study.hpp"
@@ -34,6 +36,9 @@
 #include "ir/bytecode.hpp"
 #include "ir/lower.hpp"
 #include "ir/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "suite/malardalen.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -43,20 +48,22 @@ namespace {
 
 using namespace mbcr;
 
+/// The observability surface, shared by every subcommand: metrics and
+/// Chrome-trace dumps plus live progress on stderr.
+std::map<std::string, std::string> with_obs_flags(
+    std::map<std::string, std::string> flags) {
+  flags.emplace("metrics-json", "");
+  flags.emplace("trace-json", "");
+  flags.emplace("progress", "false");
+  return flags;
+}
+
 std::map<std::string, std::string> study_flags(bool with_mode) {
   std::map<std::string, std::string> flags = core::StudySpec::flag_spec();
   if (!with_mode) flags.erase("mode");
   flags.emplace("json", "");
   flags.emplace("csv", "");
   return flags;
-}
-
-core::StudySpec load_spec_file(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) throw std::runtime_error("cannot read " + path);
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  return core::StudySpec::from_json(json::parse(buffer.str()));
 }
 
 void emit_to(const std::string& path, const char* what,
@@ -69,6 +76,66 @@ void emit_to(const std::string& path, const char* what,
   if (!file) throw std::runtime_error(std::string("cannot write ") + path);
   write(file);
   std::cerr << "[" << what << " written to " << path << "]\n";
+}
+
+/// What `--metrics-json` / `--trace-json` / `--progress` asked for.
+struct ObsRequest {
+  std::string metrics_path;
+  std::string trace_path;
+  bool progress = false;
+};
+
+/// Reads the observability flags (tolerating subcommands without them) and
+/// arms the layer before the subcommand runs. Collection (metrics + the
+/// StudyResult accounting/metrics blocks) turns on for --metrics-json or
+/// --progress; tracing only for --trace-json.
+ObsRequest setup_obs(const SubcommandCli::Parsed& cmd) {
+  ObsRequest req;
+  if (const auto it = cmd.values.find("metrics-json");
+      it != cmd.values.end()) {
+    req.metrics_path = it->second;
+  }
+  if (const auto it = cmd.values.find("trace-json"); it != cmd.values.end()) {
+    req.trace_path = it->second;
+  }
+  if (const auto it = cmd.values.find("progress"); it != cmd.values.end()) {
+    req.progress = parse_bool("progress", it->second);
+  }
+  if (!obs::kCompiledIn &&
+      (!req.metrics_path.empty() || !req.trace_path.empty() ||
+       req.progress)) {
+    std::cerr << "mbcr: observability flags have no effect in this build "
+                 "(compiled with -DMBCR_OBS=OFF)\n";
+  }
+  obs::set_enabled(!req.metrics_path.empty() || req.progress);
+  obs::set_trace_enabled(!req.trace_path.empty());
+  obs::set_progress_enabled(req.progress);
+  return req;
+}
+
+/// Writes the requested metrics/trace documents after the subcommand
+/// finished (so the snapshots cover its whole run).
+void emit_obs(const ObsRequest& req) {
+  if (!req.metrics_path.empty()) {
+    emit_to(req.metrics_path, "metrics", [](std::ostream& os) {
+      obs::metrics_document().write(os, 2);
+      os << "\n";
+    });
+  }
+  if (!req.trace_path.empty()) {
+    emit_to(req.trace_path, "trace", [](std::ostream& os) {
+      obs::trace_json().write(os, 2);
+      os << "\n";
+    });
+  }
+}
+
+core::StudySpec load_spec_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return core::StudySpec::from_json(json::parse(buffer.str()));
 }
 
 int emit(const core::StudyResult& result, const SubcommandCli::Parsed& cmd) {
@@ -156,6 +223,59 @@ int cmd_list() {
   return 0;
 }
 
+/// Derives the fuzz-throughput trend document (BENCH_fuzz.json) from the
+/// metrics the fuzz driver collected: overall cases/sec plus per-oracle
+/// run counts and wall time. The per-oracle rows come straight out of the
+/// "fuzz.oracle.<name>.{runs,wall_ns}" counters.
+json::Value fuzz_bench_document(const fuzz::FuzzConfig& cfg,
+                                const fuzz::FuzzReport& report,
+                                double wall_s) {
+  json::Object doc;
+  doc.emplace_back("schema", "mbcr-bench-fuzz-v1");
+  doc.emplace_back("obs_compiled_in", obs::kCompiledIn);
+  doc.emplace_back("programs", cfg.programs);
+  doc.emplace_back("seeds", cfg.seeds);
+  doc.emplace_back("oracle", cfg.oracle);
+  doc.emplace_back("rng_seed", std::to_string(cfg.rng_seed));
+  doc.emplace_back("cases", report.cases_run);
+  doc.emplace_back("oracle_runs", report.oracle_runs);
+  doc.emplace_back("wall_s", wall_s);
+  doc.emplace_back("cases_per_sec",
+                   wall_s > 0.0
+                       ? static_cast<double>(report.cases_run) / wall_s
+                       : 0.0);
+
+  // One row per oracle: runs, total wall, and the mean latency per run.
+  const json::Value snapshot = obs::metrics_json();
+  const json::Object& counters = snapshot.at("counters").as_object();
+  json::Object oracles;
+  constexpr std::string_view kPrefix = "fuzz.oracle.";
+  constexpr std::string_view kRunsSuffix = ".runs";
+  for (const auto& [name, value] : counters) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() < kRunsSuffix.size() ||
+        name.compare(name.size() - kRunsSuffix.size(), kRunsSuffix.size(),
+                     kRunsSuffix) != 0) {
+      continue;
+    }
+    const std::string oracle_name = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kRunsSuffix.size());
+    const double runs = value.as_number();
+    const json::Value* wall_ns =
+        snapshot.at("counters").find(std::string(kPrefix) + oracle_name +
+                                     ".wall_ns");
+    const double total_ns = wall_ns != nullptr ? wall_ns->as_number() : 0.0;
+    json::Object row;
+    row.emplace_back("runs", runs);
+    row.emplace_back("wall_s", total_ns * 1e-9);
+    row.emplace_back("mean_us_per_run",
+                     runs > 0.0 ? total_ns * 1e-3 / runs : 0.0);
+    oracles.emplace_back(oracle_name, json::Value(std::move(row)));
+  }
+  doc.emplace_back("oracles", json::Value(std::move(oracles)));
+  return json::Value(std::move(doc));
+}
+
 int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
   if (const std::string& path = cmd.str("replay"); !path.empty()) {
     const fuzz::Repro repro = fuzz::load_repro(path);
@@ -179,10 +299,33 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
   cfg.shrink = parse_bool("shrink", cmd.str("shrink"));
   cfg.log = &std::cerr;
 
+  // --bench-json needs the per-oracle latency counters, so it arms
+  // collection itself (from a clean slate) even without --metrics-json.
+  const std::string& bench_path = cmd.str("bench-json");
+  if (!bench_path.empty()) {
+    if (!obs::kCompiledIn) {
+      std::cerr << "mbcr: --bench-json per-oracle latencies unavailable "
+                   "(compiled with -DMBCR_OBS=OFF)\n";
+    }
+    obs::reset_metrics();
+    obs::set_enabled(true);
+  }
+  const auto fuzz_start = std::chrono::steady_clock::now();
+
   // run_fuzz validates the config (unknown --oracle names included)
   // before any case runs; its invalid_argument reaches main's
   // usage-error path (stderr, exit 2).
   const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
+  if (!bench_path.empty()) {
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - fuzz_start)
+                              .count();
+    const json::Value doc = fuzz_bench_document(cfg, report, wall_s);
+    emit_to(bench_path, "fuzz bench", [&](std::ostream& os) {
+      doc.write(os, 2);
+      os << "\n";
+    });
+  }
   std::cout << "fuzz: " << report.cases_run << " program(s) x " << cfg.seeds
             << " seed(s), " << report.oracle_runs << " oracle run(s): "
             << (report.ok() ? "all passed"
@@ -276,45 +419,52 @@ int main(int argc, char** argv) {
       study_flags(/*with_mode=*/true);
   analyze_flags.emplace("spec", "");  // saved StudySpec JSON as input
   cli.add_command({"analyze", "run a study (choose the mode with --mode)",
-                   std::move(analyze_flags), {}});
+                   with_obs_flags(std::move(analyze_flags)), {}});
   cli.add_command({"measure",
                    "raw measurement campaign, no EVT (mode=measure)",
-                   study_flags(false), {}});
+                   with_obs_flags(study_flags(false)), {}});
   cli.add_command({"pub", "PUB-only analysis, no TAC (mode=pub)",
-                   study_flags(false), {}});
+                   with_obs_flags(study_flags(false)), {}});
   cli.add_command({"tac", "PUB+TAC analysis with TAC event detail",
-                   study_flags(false), {}});
-  cli.add_command({"list", "list the benchmark suite registry", {}, {}});
+                   with_obs_flags(study_flags(false)), {}});
+  cli.add_command({"list", "list the benchmark suite registry",
+                   with_obs_flags({}), {}});
   cli.add_command({"lint",
                    "static verifier verdicts for the suite kernels",
-                   {{"suite", ""}, {"fatal", "false"}},
+                   with_obs_flags({{"suite", ""}, {"fatal", "false"}}),
                    {}});
   cli.add_command({"report", "pretty-print a saved JSON study result",
-                   {}, {"file"}});
+                   with_obs_flags({}), {"file"}});
   cli.add_command({"fuzz",
                    "differential fuzzing: random programs vs the oracles",
-                   {{"programs", "50"},
-                    {"seeds", "8"},
-                    {"time-budget", "0"},
-                    {"oracle", "all"},
-                    {"rng-seed", "1"},
-                    {"corpus", ""},
-                    {"shrink", "true"},
-                    {"replay", ""}},
+                   with_obs_flags({{"programs", "50"},
+                                   {"seeds", "8"},
+                                   {"time-budget", "0"},
+                                   {"oracle", "all"},
+                                   {"rng-seed", "1"},
+                                   {"corpus", ""},
+                                   {"shrink", "true"},
+                                   {"replay", ""},
+                                   {"bench-json", ""}}),
                    {}});
 
   const SubcommandCli::Parsed cmd = cli.parse_or_exit(argc, argv);
   try {
-    if (cmd.command == "analyze") return cmd_analyze(cmd, nullptr);
-    if (cmd.command == "measure") return cmd_analyze(cmd, "measure");
-    if (cmd.command == "pub") return cmd_analyze(cmd, "pub");
-    if (cmd.command == "tac") return cmd_tac(cmd);
-    if (cmd.command == "list") return cmd_list();
-    if (cmd.command == "lint") return cmd_lint(cmd);
-    if (cmd.command == "report") return cmd_report(cmd);
-    if (cmd.command == "fuzz") return cmd_fuzz(cmd);
-    std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";
-    return 1;
+    const ObsRequest obs_req = setup_obs(cmd);
+    const int code = [&]() -> int {
+      if (cmd.command == "analyze") return cmd_analyze(cmd, nullptr);
+      if (cmd.command == "measure") return cmd_analyze(cmd, "measure");
+      if (cmd.command == "pub") return cmd_analyze(cmd, "pub");
+      if (cmd.command == "tac") return cmd_tac(cmd);
+      if (cmd.command == "list") return cmd_list();
+      if (cmd.command == "lint") return cmd_lint(cmd);
+      if (cmd.command == "report") return cmd_report(cmd);
+      if (cmd.command == "fuzz") return cmd_fuzz(cmd);
+      std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";
+      return 1;
+    }();
+    emit_obs(obs_req);
+    return code;
   } catch (const std::invalid_argument& e) {
     // Bad flag *values* (unknown enum spellings like --l2-policy bogus,
     // malformed numbers, inconsistent specs) take the same loud path as
