@@ -34,6 +34,7 @@
 #include "platform/campaign.hpp"
 #include "platform/machine.hpp"
 #include "suite/malardalen.hpp"
+#include "util/atomic_file.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -239,13 +240,13 @@ int run_replay_report(const std::string& json_path, std::size_t runs,
   doc.emplace_back("cases", std::move(cases));
   doc.emplace_back("obs_overhead", json::Value(std::move(obs_overhead)));
 
-  std::ofstream file(json_path);
-  if (!file) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  try {
+    util::write_file_atomic(json_path,
+                            json::Value(std::move(doc)).dump(2) + "\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  json::Value(std::move(doc)).write(file, 2);
-  file << "\n";
   std::printf("[replay report written to %s]\n", json_path.c_str());
   return 0;
 }
@@ -379,13 +380,13 @@ int run_interp_report(const std::string& json_path, std::size_t execs) {
   doc.emplace_back("execs_per_case", execs);
   doc.emplace_back("cases", std::move(cases));
 
-  std::ofstream file(json_path);
-  if (!file) {
-    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  try {
+    util::write_file_atomic(json_path,
+                            json::Value(std::move(doc)).dump(2) + "\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  json::Value(std::move(doc)).write(file, 2);
-  file << "\n";
   std::printf("[interp report written to %s]\n", json_path.c_str());
   return 0;
 }

@@ -167,13 +167,15 @@ Analyzer::MultiPathAnalysis Analyzer::analyze_pubbed_paths(
 
 std::vector<double> Analyzer::measure(const ir::Program& program,
                                       const ir::InputVector& input,
-                                      std::size_t runs) const {
+                                      std::size_t runs,
+                                      std::size_t first_run) const {
   ir::ExecOptions exec_options;
   exec_options.executor = config_.executor;
   const ir::ExecResult exec = ir::lower_and_execute(program, input,
                                                     exec_options);
   const CompactTrace trace = CompactTrace::from(exec.trace);
-  return platform::run_campaign(machine_, trace, runs, config_.campaign);
+  return platform::run_campaign(machine_, trace, runs, config_.campaign,
+                                first_run);
 }
 
 }  // namespace mbcr::core

@@ -104,10 +104,14 @@ public:
       const std::vector<ir::InputVector>& inputs, bool with_tac = true) const;
 
   /// Ground-truth style campaign: N runs of the program as-is, returning
-  /// raw execution times (Fig. 2 / Fig. 4 ECCDFs).
+  /// raw execution times (Fig. 2 / Fig. 4 ECCDFs). `first_run` offsets the
+  /// deterministic run numbering — run i uses seed mix64(first_run + i,
+  /// master_seed) — so sharded measure campaigns can split one logical
+  /// sample into contiguous slices whose concatenation is bit-identical to
+  /// a single `measure(program, input, total)` call.
   std::vector<double> measure(const ir::Program& program,
-                              const ir::InputVector& input,
-                              std::size_t runs) const;
+                              const ir::InputVector& input, std::size_t runs,
+                              std::size_t first_run = 0) const;
 
   const AnalysisConfig& config() const { return config_; }
 

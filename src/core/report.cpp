@@ -102,14 +102,15 @@ void print_study_json(std::ostream& os, const json::Value& doc) {
   // Each schema rev carries a strict superset of the previous one's
   // members (v2 added the hierarchy/placement, v3 the campaign batch
   // width, v4 the IR executor, v5 the optional accounting/metrics
-  // observability blocks), so one reader serves all of them.
+  // observability blocks, v6 the optional sweep/failed_shards provenance
+  // blocks), so one reader serves all of them.
   const std::string schema = str_or(doc.find("schema"), "");
   if (schema != "mbcr-study-v1" && schema != "mbcr-study-v2" &&
       schema != "mbcr-study-v3" && schema != "mbcr-study-v4" &&
-      schema != "mbcr-study-v5") {
+      schema != "mbcr-study-v5" && schema != "mbcr-study-v6") {
     throw std::runtime_error(
         "not a study result (expected schema \"mbcr-study-v1\" ... "
-        "\"mbcr-study-v5\")");
+        "\"mbcr-study-v6\")");
   }
   const json::Value* spec = doc.find("spec");
   const double probability =

@@ -539,35 +539,55 @@ json::Value StudySpec::to_json() const {
 namespace {
 
 // JSON-to-spec readers: every member is optional and falls back to the
-// in-memory default, which is what makes v1 documents (no hierarchy or
-// placement members) load unchanged.
+// in-memory default — absent *or null* (the writer serializes "no value"
+// members like an empty suite as null) — which is what makes v1
+// documents (no hierarchy or placement members) load unchanged. A member
+// that IS present with the wrong type throws (the strict accessors'
+// runtime_error, normalized to invalid_argument by from_json) —
+// defaulting over it would silently turn a corrupt document into a
+// half-default spec.
+bool jabsent(const json::Value* v) { return v == nullptr || v->is_null(); }
+
 double jnum(const json::Value* v, double dflt) {
-  return v && v->is_number() ? v->as_number() : dflt;
+  return jabsent(v) ? dflt : v->as_number();
 }
 
 std::size_t jsize(const json::Value* v, std::size_t dflt) {
-  return v && v->is_number() ? static_cast<std::size_t>(v->as_number()) : dflt;
+  return jabsent(v) ? dflt : static_cast<std::size_t>(v->as_number());
 }
 
 std::string jstr(const json::Value* v, const std::string& dflt) {
-  return v && v->is_string() ? v->as_string() : dflt;
+  return jabsent(v) ? dflt : v->as_string();
 }
 
 bool jbool(const json::Value* v, bool dflt) {
-  return v && v->is_bool() ? v->as_bool() : dflt;
+  return jabsent(v) ? dflt : v->as_bool();
 }
 
 /// 64-bit seeds are serialized as decimal strings (doubles lose precision
 /// past 2^53); accept both forms.
 std::uint64_t jseed(const json::Value* v, std::uint64_t dflt) {
-  if (!v) return dflt;
+  if (jabsent(v)) return dflt;
   if (v->is_string()) return parse_u64("(seed)", v->as_string());
   if (v->is_number()) return static_cast<std::uint64_t>(v->as_number());
-  return dflt;
+  throw std::runtime_error("seed: expected a number or decimal string");
+}
+
+/// Nested config blocks: absent (or null — disabled L2 serializes as
+/// null) reads as "use the defaults"; any other non-object is malformed.
+const json::Value* jblock(const json::Value* v, const char* name) {
+  if (v == nullptr || v->is_null()) return nullptr;
+  if (!v->is_object()) {
+    throw std::runtime_error(std::string(name) + ": expected an object");
+  }
+  return v;
 }
 
 CacheConfig jcache(const json::Value* v, CacheConfig dflt) {
-  if (!v || !v->is_object()) return dflt;
+  if (!v) return dflt;
+  if (!v->is_object()) {
+    throw std::runtime_error("cache config: expected an object");
+  }
   dflt.sets = static_cast<std::uint32_t>(jnum(v->find("sets"), dflt.sets));
   dflt.ways = static_cast<std::uint32_t>(jnum(v->find("ways"), dflt.ways));
   dflt.line_bytes = static_cast<Addr>(
@@ -578,9 +598,7 @@ CacheConfig jcache(const json::Value* v, CacheConfig dflt) {
   return dflt;
 }
 
-}  // namespace
-
-StudySpec StudySpec::from_json(const json::Value& doc) {
+StudySpec spec_from_json_unchecked(const json::Value& doc) {
   // A whole StudyResult document carries the spec under "spec"; a bare
   // spec object is used as-is.
   const json::Value* spec_obj = doc.find("spec");
@@ -598,10 +616,10 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
   spec.mode = parse_study_mode(jstr(s.find("mode"), to_string(spec.mode)));
   spec.set_input_selector(jstr(s.find("input"), "default"));
 
-  if (const json::Value* m = s.find("machine")) {
+  if (const json::Value* m = jblock(s.find("machine"), "machine")) {
     spec.config.machine.il1 = jcache(m->find("il1"), spec.config.machine.il1);
     spec.config.machine.dl1 = jcache(m->find("dl1"), spec.config.machine.dl1);
-    if (const json::Value* l2 = m->find("l2"); l2 && l2->is_object()) {
+    if (const json::Value* l2 = jblock(m->find("l2"), "machine.l2")) {
       spec.config.machine.l2.enabled = true;
       spec.config.machine.l2.l2 = jcache(l2, spec.config.machine.l2.l2);
       spec.config.machine.l2.policy = parse_l2_policy(
@@ -610,7 +628,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
           l2->find("latency"),
           static_cast<double>(spec.config.machine.l2.latency)));
     }
-    if (const json::Value* t = m->find("timing")) {
+    if (const json::Value* t = jblock(m->find("timing"), "machine.timing")) {
       TimingParams& timing = spec.config.machine.timing;
       timing.issue_cycles = static_cast<std::uint64_t>(
           jnum(t->find("issue_cycles"),
@@ -623,7 +641,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
                static_cast<double>(timing.mem_latency)));
     }
   }
-  if (const json::Value* c = s.find("campaign")) {
+  if (const json::Value* c = jblock(s.find("campaign"), "campaign")) {
     spec.config.campaign.master_seed =
         jseed(c->find("master_seed"), spec.config.campaign.master_seed);
     spec.config.campaign.threads = static_cast<unsigned>(
@@ -635,7 +653,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
     spec.config.campaign.batch =
         jsize(c->find("batch"), spec.config.campaign.batch);
   }
-  if (const json::Value* c = s.find("convergence")) {
+  if (const json::Value* c = jblock(s.find("convergence"), "convergence")) {
     mbpta::ConvergenceConfig& conv = spec.config.convergence;
     conv.min_runs = jsize(c->find("min_runs"), conv.min_runs);
     conv.delta = jsize(c->find("delta"), conv.delta);
@@ -643,7 +661,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
     conv.tolerance = jnum(c->find("tolerance"), conv.tolerance);
     conv.max_runs = jsize(c->find("max_runs"), conv.max_runs);
   }
-  if (const json::Value* e = s.find("evt")) {
+  if (const json::Value* e = jblock(s.find("evt"), "evt")) {
     mbpta::EvtConfig& evt = spec.config.convergence.evt;
     evt.initial_tail_fraction =
         jnum(e->find("initial_tail_fraction"), evt.initial_tail_fraction);
@@ -653,7 +671,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
                                 evt.min_exceedances);
     evt.cv_band_sigmas = jnum(e->find("cv_band_sigmas"), evt.cv_band_sigmas);
   }
-  if (const json::Value* t = s.find("tac")) {
+  if (const json::Value* t = jblock(s.find("tac"), "tac")) {
     tac::TacConfig& tc = spec.config.tac;
     tc.target_miss_prob = jnum(t->find("target_miss_prob"),
                                tc.target_miss_prob);
@@ -667,7 +685,7 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
         jnum(t->find("larger_group_margin"), tc.larger_group_margin);
     tc.max_runs_cap = jsize(t->find("max_runs_cap"), tc.max_runs_cap);
   }
-  if (const json::Value* p = s.find("pub")) {
+  if (const json::Value* p = jblock(s.find("pub"), "pub")) {
     const std::string merge = jstr(p->find("merge"), "scs");
     if (merge == "scs") {
       spec.config.pub.merge = pub::BranchMerge::kScsInterleave;
@@ -695,6 +713,22 @@ StudySpec StudySpec::from_json(const json::Value& doc) {
   return spec;
 }
 
+}  // namespace
+
+StudySpec StudySpec::from_json(const json::Value& doc) {
+  try {
+    return spec_from_json_unchecked(doc);
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    // The JSON accessors throw runtime_error on a type mismatch; a spec
+    // with the wrong shape is malformed *input*, not an internal failure,
+    // so normalize to invalid_argument and the front-ends report it as a
+    // usage error (exit 2) with the accessor's precise complaint.
+    throw std::invalid_argument(std::string("study spec: ") + e.what());
+  }
+}
+
 double StudyResult::pwcet_at(double p) const {
   return combined_pwcet_at(paths, p);
 }
@@ -707,7 +741,7 @@ json::Value StudyResult::to_json() const {
   const double probability = spec.config.pwcet_probability;
   json::Object doc;
   doc.reserve(7);
-  doc.emplace_back("schema", "mbcr-study-v5");
+  doc.emplace_back("schema", "mbcr-study-v6");
   doc.emplace_back("spec", spec.to_json());
   doc.emplace_back("program", program_name);
   {
@@ -746,6 +780,15 @@ json::Value StudyResult::to_json() const {
     doc.emplace_back("samples", std::move(arr));
   }
   doc.emplace_back("runs_executed", runs_executed);
+  // v6 sweep provenance: additive, filled only by the sweep merge layer
+  // (and only for partial results / explicit provenance requests), so
+  // `mbcr analyze` output and a clean sweep merge stay byte-identical.
+  if (sweep.has_value()) {
+    doc.emplace_back("sweep", *sweep);
+  }
+  if (failed_shards.has_value()) {
+    doc.emplace_back("failed_shards", *failed_shards);
+  }
   // Both observability blocks are strictly additive: absent unless the
   // layer was enabled, so default documents stay byte-identical whether
   // or not the instrumentation is compiled in.
@@ -888,6 +931,78 @@ StudyResult run_study(const StudySpec& requested) {
     out.accounting.sys_cpu_s = usage_end.sys_cpu_s - usage_start.sys_cpu_s;
     out.accounting.max_rss_kb = usage_end.max_rss_kb;
     out.metrics = obs::metrics_json();
+  }
+  return out;
+}
+
+StudyResult run_measure_slice(const StudySpec& spec, std::size_t first_run,
+                              std::size_t count) {
+  if (spec.mode != StudyMode::kMeasure) {
+    throw std::invalid_argument("measure slices require mode == measure");
+  }
+  spec.validate();
+  if (first_run > spec.measure_runs ||
+      count > spec.measure_runs - first_run) {
+    throw std::invalid_argument(
+        "measure slice [" + std::to_string(first_run) + ", " +
+        std::to_string(first_run + count) + ") exceeds measure_runs " +
+        std::to_string(spec.measure_runs));
+  }
+  Resolved resolved = resolve(spec);
+  const ir::Program* program = &resolved.program;
+  ir::Program pubbed;
+  if (spec.measure_pub) {
+    pubbed = pub::apply_pub(resolved.program, spec.config.pub);
+    program = &pubbed;
+  }
+  const Analyzer analyzer(spec.config);
+  StudyResult out;
+  out.spec = spec;
+  out.program_name = program->name;
+  for (const ir::InputVector& in : resolved.inputs) {
+    out.samples.push_back(
+        {in.label, analyzer.measure(*program, in, count, first_run)});
+    out.runs_executed += count;
+  }
+  return out;
+}
+
+StudyResult assemble_measure_result(const StudySpec& spec,
+                                    const std::vector<StudyResult>& slices) {
+  if (spec.mode != StudyMode::kMeasure) {
+    throw std::invalid_argument("measure slices require mode == measure");
+  }
+  if (slices.empty()) {
+    throw std::invalid_argument(
+        "assemble_measure_result needs at least one slice");
+  }
+  spec.validate();
+  StudyResult out;
+  out.spec = spec;
+  out.program_name = slices.front().program_name;
+  out.samples.reserve(slices.front().samples.size());
+  for (const MeasureSample& s : slices.front().samples) {
+    out.samples.push_back({s.input_label, {}});
+  }
+  for (const StudyResult& slice : slices) {
+    if (slice.program_name != out.program_name ||
+        slice.samples.size() != out.samples.size()) {
+      throw std::invalid_argument(
+          "measure slices disagree on program/input structure");
+    }
+    for (std::size_t i = 0; i < out.samples.size(); ++i) {
+      const MeasureSample& in = slice.samples[i];
+      MeasureSample& acc = out.samples[i];
+      if (in.input_label != acc.input_label) {
+        throw std::invalid_argument(
+            "measure slices disagree on input labels: '" + in.input_label +
+            "' vs '" + acc.input_label + "'");
+      }
+      acc.times.insert(acc.times.end(), in.times.begin(), in.times.end());
+    }
+  }
+  for (const MeasureSample& s : out.samples) {
+    out.runs_executed += s.times.size();
   }
   return out;
 }

@@ -131,6 +131,15 @@ struct StudyResult {
   /// emitted as the optional "metrics" member. Absent by default.
   std::optional<json::Value> metrics;
 
+  /// Sharded-sweep provenance (schema v6, additive): filled by the sweep
+  /// merge layer only, never by run_study, so direct `mbcr analyze` output
+  /// and a fully-successful sweep merge stay byte-identical. `sweep`
+  /// summarizes execution (attempts, retries); `failed_shards` lists
+  /// quarantined shards and the exact run ranges they covered, making a
+  /// partial result self-describing. Both absent by default.
+  std::optional<json::Value> sweep;
+  std::optional<json::Value> failed_shards;
+
   /// Corollary 2 over `paths`: the lowest pWCET at `p` across analyzed
   /// pubbed paths (0 when no paths).
   double pwcet_at(double p) const;
@@ -147,5 +156,24 @@ struct StudyResult {
 /// selection is normalized to kAllPaths (a one-path multipath study is
 /// meaningless); the normalized spec is what the result carries.
 StudyResult run_study(const StudySpec& spec);
+
+/// One shard's worth of a measure-mode study: for every selected input,
+/// executes runs [first_run, first_run + count) of its campaign — the same
+/// deterministic per-run seeds (mix64(run, master_seed)) the full campaign
+/// would use, so slices are position-independent and concatenation in run
+/// order reproduces the unsliced sample exactly. Throws
+/// std::invalid_argument when the spec is not measure mode or the range
+/// exceeds measure_runs.
+StudyResult run_measure_slice(const StudySpec& spec, std::size_t first_run,
+                              std::size_t count);
+
+/// Reassembles a measure-mode StudyResult from slices produced by
+/// `run_measure_slice`, given in ascending first_run order. Samples are
+/// concatenated per input; when the slices cover [0, measure_runs) the
+/// JSON emitted is byte-identical to `run_study` on the unsliced spec.
+/// Throws std::invalid_argument on an empty slice list or mismatched
+/// program/input structure between slices.
+StudyResult assemble_measure_result(const StudySpec& spec,
+                                    const std::vector<StudyResult>& slices);
 
 }  // namespace mbcr::core

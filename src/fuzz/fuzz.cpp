@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "util/rng.hpp"
+#include "util/signal.hpp"
 
 namespace mbcr::fuzz {
 
@@ -156,6 +157,12 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
 
   FuzzReport report;
   for (std::size_t index = 0; within_budget(index); ++index) {
+    // Graceful shutdown: stop claiming new cases; every repro written so
+    // far is already flushed (save_repro is atomic), so nothing is lost.
+    if (util::shutdown_requested()) {
+      report.interrupted_by = util::shutdown_signal();
+      break;
+    }
     const FuzzCaseData data = make_case(config.rng_seed, index, config.seeds);
     ++report.cases_run;
 #if !defined(MBCR_OBS_DISABLED)

@@ -71,6 +71,10 @@ struct FuzzReport {
   std::size_t cases_run = 0;
   std::size_t oracle_runs = 0;
   std::vector<FuzzFailure> failures;
+  /// A shutdown signal (SIGINT/SIGTERM) stopped the loop early: no new
+  /// cases were claimed, every repro found so far is already on disk, and
+  /// the front-end exits 128+signal instead of 0/1.
+  int interrupted_by = 0;
   bool ok() const { return failures.empty(); }
 };
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
+
 namespace mbcr::fuzz {
 
 namespace {
@@ -451,18 +453,28 @@ Repro repro_from_json(const json::Value& doc) {
 }
 
 void save_repro(const Repro& repro, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) throw std::runtime_error("cannot write " + path);
-  repro_to_json(repro).write(file, 2);
-  file << "\n";
+  // Atomic (temp + rename): a repro file either exists complete or not at
+  // all, even if the fuzzer is killed mid-write.
+  std::ostringstream text;
+  repro_to_json(repro).write(text, 2);
+  text << "\n";
+  util::write_file_atomic(path, text.str());
 }
 
 Repro load_repro(const std::string& path) {
+  // Fail closed on missing/truncated/corrupt repro files: every error is
+  // normalized to std::invalid_argument with the path (and, for parse
+  // errors, the byte offset) attached, so the CLI reports it as a usage
+  // error instead of replaying a half-decoded case.
   std::ifstream file(path);
-  if (!file) throw std::runtime_error("cannot read " + path);
+  if (!file) throw std::invalid_argument("repro: cannot read " + path);
   std::stringstream buffer;
   buffer << file.rdbuf();
-  return repro_from_json(json::parse(buffer.str()));
+  try {
+    return repro_from_json(json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("repro " + path + ": " + e.what());
+  }
 }
 
 }  // namespace mbcr::fuzz

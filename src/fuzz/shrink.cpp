@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "ir/stmt.hpp"
+#include "util/signal.hpp"
 
 namespace mbcr::fuzz {
 
@@ -285,6 +286,8 @@ FuzzCaseData shrink_case(const FuzzCaseData& failing, const Oracle& oracle,
     try {
       ir::validate(candidate.program);
       return !oracle.run(candidate, inject_fault).ok;
+    } catch (const util::ShutdownRequested&) {
+      throw;  // SIGINT/SIGTERM aborts the shrink, not "candidate passed"
     } catch (const std::exception&) {
       return false;  // a shrink that crashes is not the same failure
     }

@@ -9,6 +9,7 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/signal.hpp"
 
 namespace mbcr::platform {
 
@@ -55,6 +56,11 @@ void run_campaign_into(const Machine& machine, const CompactTrace& trace,
   pool->parallel_for(
       runs, grain,
       [&](std::size_t begin, std::size_t end) {
+        // Graceful shutdown: a SIGINT/SIGTERM stops the campaign at the
+        // next chunk claim (one relaxed load per >= grain runs). The
+        // exception unwinds through the pool to the front-end, which
+        // exits 128+sig; CampaignSampler's catch keeps the sample clean.
+        util::throw_if_shutdown();
         // One workspace per pool thread, reused across every chunk,
         // campaign, trace, and machine this thread ever touches. A claimed
         // chunk is a seed batch: it is replayed trace-major in

@@ -1,0 +1,49 @@
+#include "sweep/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mbcr::sweep {
+
+FaultPlan fault_plan_from_env() {
+  FaultPlan plan;
+#ifdef MBCR_SWEEP_FAULT
+  const char* env = std::getenv("MBCR_SWEEP_FAULT");
+  if (env == nullptr || *env == '\0') return plan;
+  const std::string text(env);
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) {
+    throw std::invalid_argument("MBCR_SWEEP_FAULT '" + text +
+                                "': expected mode@shard[#attempt]");
+  }
+  const std::string mode = text.substr(0, at);
+  if (mode == "crash") {
+    plan.mode = FaultMode::kCrash;
+  } else if (mode == "hang") {
+    plan.mode = FaultMode::kHang;
+  } else if (mode == "truncate") {
+    plan.mode = FaultMode::kTruncate;
+  } else if (mode == "badsum") {
+    plan.mode = FaultMode::kBadsum;
+  } else {
+    throw std::invalid_argument("MBCR_SWEEP_FAULT mode '" + mode +
+                                "': expected crash|hang|truncate|badsum");
+  }
+  std::string rest = text.substr(at + 1);
+  const std::size_t hash = rest.find('#');
+  try {
+    if (hash != std::string::npos) {
+      plan.attempt = std::stoi(rest.substr(hash + 1));
+      rest.resize(hash);
+    }
+    plan.shard = static_cast<std::size_t>(std::stoul(rest));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("MBCR_SWEEP_FAULT '" + text +
+                                "': bad shard/attempt number");
+  }
+#endif
+  return plan;
+}
+
+}  // namespace mbcr::sweep

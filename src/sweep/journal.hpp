@@ -1,0 +1,86 @@
+// The sweep's crash-safe on-disk journal.
+//
+// Layout under the journal directory:
+//   manifest.json                  write-ahead manifest: the sweep spec,
+//                                  its id, and the shard plan — written
+//                                  (atomically) before any worker starts
+//   shards/shard-NNN.json          one verified result per shard: its
+//                                  units, their StudyResult documents and
+//                                  a content checksum over the payload
+//   logs/shard-NNN-attempt-A.log   each attempt's stdout+stderr
+//
+// Every file is written via util::write_file_atomic (temp + fsync +
+// rename + dir fsync), so a crash or power cut can only ever leave a
+// missing file or a stray temp file — never a truncated destination. A
+// shard file is trusted only after full verification: parse, schema,
+// sweep id, shard number, unit/study arity, and the FNV-1a payload
+// checksum. Anything less (torn JSON from a faulty writer, a checksum
+// mismatch, results from a different spec) reads as "this shard has not
+// completed", which is exactly what retry and --resume key off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/shard.hpp"
+#include "util/json.hpp"
+
+namespace mbcr::sweep {
+
+inline constexpr const char* kManifestSchema = "mbcr-sweep-manifest-v1";
+inline constexpr const char* kShardSchema = "mbcr-sweep-shard-v1";
+
+struct Manifest {
+  std::string sweep_id;
+  json::Value spec;  ///< SweepSpec::to_json form
+  std::size_t shards = 0;
+  std::size_t units = 0;
+  std::size_t points = 0;
+};
+
+std::string manifest_path(const std::string& dir);
+std::string shard_path(const std::string& dir, std::size_t shard);
+std::string shard_log_path(const std::string& dir, std::size_t shard,
+                           int attempt);
+
+/// Creates the journal directory tree (mkdir -p semantics). Throws
+/// std::runtime_error when a component cannot be created.
+void ensure_journal_dirs(const std::string& dir);
+
+/// Atomically (re)writes manifest.json.
+void write_manifest(const std::string& dir, const Manifest& manifest);
+
+/// Loads and validates manifest.json. Throws std::invalid_argument on a
+/// missing/torn/foreign file — resume refuses to guess.
+Manifest load_manifest(const std::string& dir);
+
+/// One shard's completed work: parallel `units`/`studies` arrays (one
+/// StudyResult document per unit, in unit order).
+struct ShardResult {
+  std::size_t shard = 0;
+  std::vector<SweepUnit> units;
+  std::vector<json::Value> studies;
+};
+
+/// The exact bytes `write_shard_result` persists (payload + checksum).
+/// Exposed for the fault hooks and the journal tests, which need to
+/// produce deliberately damaged variants of a valid file.
+std::string shard_result_text(const std::string& sweep_id,
+                              const ShardResult& result);
+
+/// Atomically writes shards/shard-NNN.json with its payload checksum.
+void write_shard_result(const std::string& dir, const std::string& sweep_id,
+                        const ShardResult& result);
+
+/// Loads shards/shard-NNN.json and verifies it end to end. Returns
+/// nullopt — with a human-readable reason in `*why` when provided — for
+/// anything not fully trustworthy: missing file, unparsable JSON, wrong
+/// schema/sweep id/shard number, arity mismatch, checksum mismatch.
+std::optional<ShardResult> load_shard_result(const std::string& dir,
+                                             const std::string& sweep_id,
+                                             std::size_t shard,
+                                             std::string* why = nullptr);
+
+}  // namespace mbcr::sweep

@@ -1,0 +1,189 @@
+#include "sweep/merge.hpp"
+
+#include <stdexcept>
+
+#include "core/study.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/shard.hpp"
+
+namespace mbcr::sweep {
+
+namespace {
+
+/// Rehydrates a measure-slice StudyResult (program name + samples) from
+/// its journaled document — everything assemble_measure_result needs.
+core::StudyResult slice_from_json(const json::Value& doc) {
+  core::StudyResult out;
+  out.program_name = doc.at("program").as_string();
+  if (const json::Value* samples = doc.find("samples")) {
+    for (const json::Value& s : samples->as_array()) {
+      core::MeasureSample sample;
+      sample.input_label = s.at("input").as_string();
+      const json::Array& times = s.at("times").as_array();
+      sample.times.reserve(times.size());
+      for (const json::Value& t : times) {
+        sample.times.push_back(t.as_number());
+      }
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+json::Value unit_json(const SweepUnit& u) {
+  json::Object o;
+  o.reserve(3);
+  o.emplace_back("point", u.point);
+  o.emplace_back("first_run", u.first_run);
+  o.emplace_back("runs", u.runs);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+MergeOutput merge_sweep(const std::string& dir) {
+  const Manifest manifest = load_manifest(dir);
+  const SweepSpec spec = SweepSpec::from_json(manifest.spec);
+  const std::vector<core::StudySpec> points = spec.expand();
+  const std::vector<SweepUnit> units = expand_units(spec, points);
+  const std::vector<ShardRange> ranges =
+      assign_shards(units.size(), manifest.shards);
+
+  MergeOutput out;
+  out.points = points.size();
+
+  // Collect every verified shard and index its studies by global unit.
+  std::vector<ShardResult> shard_results(manifest.shards);
+  std::vector<std::string> shard_why(manifest.shards);
+  std::vector<const json::Value*> unit_docs(units.size(), nullptr);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    std::string why;
+    std::optional<ShardResult> r =
+        load_shard_result(dir, manifest.sweep_id, s, &why);
+    if (r.has_value()) {
+      // The journaled unit list must match the plan re-derived from the
+      // spec — a mismatch means the file is from another world.
+      bool plan_match = r->units.size() == ranges[s].size();
+      for (std::size_t i = 0; plan_match && i < r->units.size(); ++i) {
+        plan_match = r->units[i] == units[ranges[s].begin + i];
+      }
+      if (!plan_match) {
+        r.reset();
+        why = shard_path(dir, s) + ": unit plan mismatch";
+      }
+    }
+    if (!r.has_value()) {
+      shard_why[s] = why;
+      out.failed_shards.push_back(s);
+      continue;
+    }
+    shard_results[s] = std::move(*r);
+    for (std::size_t i = 0; i < shard_results[s].studies.size(); ++i) {
+      unit_docs[ranges[s].begin + i] = &shard_results[s].studies[i];
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> point_units(points.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    point_units[units[u].point].push_back(u);
+  }
+  for (const json::Value* d : unit_docs) {
+    if (d == nullptr) out.partial = true;
+  }
+
+  const json::Value failed_json = [&] {
+    json::Array arr;
+    for (const std::size_t s : out.failed_shards) {
+      json::Object o;
+      o.reserve(3);
+      o.emplace_back("shard", s);
+      o.emplace_back("reason", shard_why[s]);
+      json::Array shard_units;
+      for (std::size_t u = ranges[s].begin; u < ranges[s].end; ++u) {
+        shard_units.push_back(unit_json(units[u]));
+      }
+      o.emplace_back("units", std::move(shard_units));
+      arr.emplace_back(std::move(o));
+    }
+    return json::Value(std::move(arr));
+  }();
+
+  // Per-point study documents, point order. A point is emitted when it
+  // is fully covered — except single-point sweeps, where a partially
+  // covered measure campaign is still emitted (with the v6 provenance
+  // blocks) so a partial sweep degrades to a usable prefix.
+  const auto point_doc =
+      [&](std::size_t p, bool allow_partial) -> std::optional<json::Value> {
+    const std::vector<std::size_t>& mine = point_units[p];
+    bool complete = true;
+    for (const std::size_t u : mine) {
+      if (unit_docs[u] == nullptr) complete = false;
+    }
+    if (mine.size() == 1 && units[mine.front()].runs == 0) {
+      // Unsliced point: the worker journaled the whole StudyResult.
+      if (!complete) return std::nullopt;
+      out.points_complete += 1;
+      out.studies_emitted += 1;
+      return *unit_docs[mine.front()];
+    }
+    if (!complete && !allow_partial) return std::nullopt;
+    std::vector<core::StudyResult> slices;
+    for (const std::size_t u : mine) {
+      if (unit_docs[u] != nullptr) {
+        slices.push_back(slice_from_json(*unit_docs[u]));
+      }
+    }
+    if (slices.empty()) return std::nullopt;
+    core::StudyResult assembled =
+        core::assemble_measure_result(points[p], slices);
+    if (complete) {
+      out.points_complete += 1;
+    } else {
+      assembled.sweep = [&] {
+        json::Object o;
+        o.reserve(3);
+        o.emplace_back("sweep_id", manifest.sweep_id);
+        o.emplace_back("shards", manifest.shards);
+        o.emplace_back("complete", false);
+        return json::Value(std::move(o));
+      }();
+      assembled.failed_shards = failed_json;
+    }
+    out.studies_emitted += 1;
+    return assembled.to_json();
+  };
+
+  if (points.size() == 1) {
+    // Single point: the merged document IS the study document —
+    // byte-identical to `mbcr analyze --json` when fully covered.
+    if (std::optional<json::Value> doc = point_doc(0, /*allow_partial=*/true)) {
+      out.doc = std::move(*doc);
+      return out;
+    }
+    // Nothing usable at all: fall through to an empty wrapper so the
+    // failure is still a well-formed, self-describing document.
+  }
+
+  json::Object wrapper;
+  wrapper.reserve(5);
+  wrapper.emplace_back("schema", "mbcr-sweep-v1");
+  wrapper.emplace_back("sweep_id", manifest.sweep_id);
+  wrapper.emplace_back("spec", manifest.spec);
+  {
+    json::Array studies;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (points.size() == 1) break;  // handled (and failed) above
+      if (std::optional<json::Value> doc = point_doc(p, false)) {
+        studies.push_back(std::move(*doc));
+      }
+    }
+    wrapper.emplace_back("studies", std::move(studies));
+  }
+  if (out.partial) {
+    wrapper.emplace_back("failed_shards", failed_json);
+  }
+  out.doc = json::Value(std::move(wrapper));
+  return out;
+}
+
+}  // namespace mbcr::sweep

@@ -1,0 +1,48 @@
+// Deterministic merge of a sweep journal back into one result document.
+//
+// The merged document is a pure function of the sweep spec and the unit
+// results — the shard count and execution history never enter it — so:
+//   * a fully successful single-point sweep emits the bare StudyResult
+//     document, byte-identical to `mbcr analyze --json` on that spec,
+//     whatever --shards was (measure-mode slices are reassembled through
+//     core::assemble_measure_result, which reproduces the unsliced
+//     sample exactly);
+//   * a fully successful multi-point sweep emits an "mbcr-sweep-v1"
+//     wrapper with one complete StudyResult document per point, again
+//     independent of shard count;
+//   * a partial sweep (quarantined shards) stays useful: single-point
+//     measure sweeps emit the covered slice prefix with additive
+//     `sweep`/`failed_shards` blocks (study schema v6); wrappers list
+//     complete studies plus a `failed_shards` block naming every missing
+//     shard, its units, and why its journal entry did not verify.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mbcr::sweep {
+
+struct MergeOutput {
+  json::Value doc;
+  bool partial = false;          ///< some unit's result was missing/bad
+  std::size_t points = 0;        ///< points in the sweep grid
+  std::size_t points_complete = 0;  ///< points with every unit verified
+  std::size_t studies_emitted = 0;  ///< study documents carried by `doc`
+  std::vector<std::size_t> failed_shards;  ///< shards that did not verify
+
+  /// Anything usable at all? (false => the sweep failed outright.)
+  /// Counts the partially-covered single-point study — a usable prefix —
+  /// not just fully complete points.
+  bool any_results() const { return studies_emitted > 0 || !partial; }
+};
+
+/// Merges the journal in `dir` (manifest + verified shard files).
+/// Re-derives the point/unit/shard plan from the journaled spec, so it
+/// needs nothing but the directory. Throws std::invalid_argument when
+/// the manifest itself is missing or damaged.
+MergeOutput merge_sweep(const std::string& dir);
+
+}  // namespace mbcr::sweep

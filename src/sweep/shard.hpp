@@ -1,0 +1,93 @@
+// Sharded-sweep work decomposition (ROADMAP "distributed sweep & study
+// service"): a SweepSpec is a base StudySpec plus axes — suite kernels,
+// L1 geometries, L2 policies, placements, campaign master seeds — that
+// expand, in one fixed deterministic order, into "points" (each a full
+// StudySpec). Measure-mode points are optionally sliced into contiguous
+// run ranges ("units") so even one huge campaign can spread over shards.
+//
+// The decomposition is a pure function of the spec: every worker and the
+// merge layer re-derive the identical point/unit/shard tables from the
+// journaled spec, which is what makes resume and the byte-identical
+// merge contract possible. Shard count never influences unit boundaries,
+// only their grouping — so the merged document is independent of how
+// many shards executed it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/json.hpp"
+
+namespace mbcr::sweep {
+
+/// The sweep grid: base spec + axes. An empty axis means "the base
+/// spec's value"; a non-empty axis overrides that dimension per point.
+/// Expansion order is fixed: suite (outer) > geometry > l2-policy >
+/// placement > seed (inner).
+struct SweepSpec {
+  core::StudySpec base;
+
+  std::vector<std::string> suites;       ///< suite kernel names
+  std::vector<std::string> geometries;   ///< L1 "SETSxWAYS", e.g. "64x2"
+  std::vector<std::string> l2_policies;  ///< "random"/"lru" (needs L2 on)
+  std::vector<std::string> placements;   ///< L1 "hash"/"modulo"
+  std::vector<std::uint64_t> seeds;      ///< campaign master seeds
+
+  /// Measure mode only: split each point's campaign into units of at
+  /// most this many runs (0 = one unit per point).
+  std::size_t slice_runs = 0;
+
+  /// Structural checks beyond per-point StudySpec::validate(): parsable
+  /// geometry strings, L2 axis only with an enabled L2, slice_runs only
+  /// in measure mode. Throws std::invalid_argument.
+  void validate() const;
+
+  /// The full point grid in expansion order. Each point passes
+  /// StudySpec::validate(). Throws std::invalid_argument on a bad axis.
+  std::vector<core::StudySpec> expand() const;
+
+  json::Value to_json() const;
+  /// Inverse of to_json (absent members keep defaults). Malformed input
+  /// throws std::invalid_argument, like StudySpec::from_json.
+  static SweepSpec from_json(const json::Value& doc);
+
+  /// The sweep's identity: FNV-1a 64 of the canonical (compact) spec
+  /// dump, as 16 hex digits. Journals record it so a resume against a
+  /// *different* spec is rejected instead of merging mismatched shards.
+  std::string id() const;
+};
+
+/// One schedulable work item: `runs == 0` means "the whole study of
+/// point `point`"; otherwise the measure-campaign slice
+/// [first_run, first_run + runs) of that point.
+struct SweepUnit {
+  std::size_t point = 0;
+  std::size_t first_run = 0;
+  std::size_t runs = 0;
+
+  bool operator==(const SweepUnit& o) const {
+    return point == o.point && first_run == o.first_run && runs == o.runs;
+  }
+};
+
+/// Expands points into units (given `spec.slice_runs`), in point order
+/// with ascending slices. Pure and deterministic.
+std::vector<SweepUnit> expand_units(const SweepSpec& spec,
+                                    const std::vector<core::StudySpec>& points);
+
+/// Half-open unit range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+};
+
+/// Contiguous balanced assignment: shard i of S owns units
+/// [i*U/S, (i+1)*U/S). Shards beyond the unit count come out empty.
+/// Throws std::invalid_argument when `shards` is zero.
+std::vector<ShardRange> assign_shards(std::size_t units, std::size_t shards);
+
+}  // namespace mbcr::sweep

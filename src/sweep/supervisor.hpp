@@ -1,0 +1,108 @@
+// The fault-tolerant sweep supervisor and its worker entry point.
+//
+// `run_sweep` executes every shard of a SweepSpec in supervised child
+// processes (`mbcr worker`), with:
+//   * per-attempt wall-clock timeouts (SIGKILL on expiry),
+//   * bounded retries under exponential backoff with deterministic
+//     jitter — a pure function of (sweep id, shard, attempt), so the
+//     schedule is unit-testable without wall-clock flakiness,
+//   * quarantine of shards that fail every attempt (the sweep degrades
+//     to a partial result instead of dying),
+//   * output *verification* as the success criterion: a worker that
+//     exits 0 but leaves a missing, torn, or checksum-mismatched result
+//     file has still failed its attempt,
+//   * crash-safe journaling (journal.hpp) and --resume, which re-runs
+//     exactly the shards whose results do not verify,
+//   * graceful SIGINT/SIGTERM: stop spawning, forward SIGTERM to
+//     running workers, reap them, and report the interruption.
+//
+// All time flows through an injectable util::Clock; tests drive the
+// whole retry/timeout state machine on a FakeClock in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sweep/journal.hpp"
+#include "sweep/shard.hpp"
+#include "util/clock.hpp"
+
+namespace mbcr::sweep {
+
+struct SupervisorConfig {
+  std::size_t shards = 1;
+  std::size_t jobs = 0;  ///< concurrent workers; 0 = min(shards, cores)
+  int retries = 2;       ///< extra attempts after the first (3 total)
+  double timeout_s = 0;  ///< per-attempt wall clock; 0 = unlimited
+  std::uint64_t backoff_base_ms = 100;  ///< first retry delay (pre-jitter)
+  std::uint64_t backoff_max_ms = 5000;  ///< exponential growth cap
+  std::string dir = "mbcr-sweep";       ///< journal directory
+  bool resume = false;  ///< skip shards whose journal entry verifies
+  std::string argv0 = "mbcr";  ///< fallback for /proc/self/exe
+
+  /// Test override for the worker command line. Empty: re-exec this
+  /// binary as `mbcr worker`. The supervisor appends
+  /// `--dir D --shard K --attempt A` either way, so a /bin/sh stub sees
+  /// them as positional arguments.
+  std::vector<std::string> worker_command;
+
+  util::Clock* clock = nullptr;  ///< null: the process SystemClock
+  /// Test hook, called right after each worker spawn (e.g. to SIGKILL a
+  /// specific attempt mid-shard).
+  std::function<void(std::size_t shard, int attempt, long pid)> on_spawn;
+  std::ostream* log = nullptr;  ///< per-attempt progress lines
+};
+
+/// One worker attempt, as the supervisor saw it.
+struct AttemptRecord {
+  std::size_t shard = 0;
+  int attempt = 0;          ///< 0-based
+  bool timed_out = false;   ///< SIGKILLed after timeout_s
+  int exit_code = 0;        ///< 128+sig when signalled
+  int term_signal = 0;      ///< nonzero when the worker died by signal
+  std::string failure;      ///< empty = attempt verified successfully
+  /// Backoff scheduled before the *next* attempt of this shard
+  /// (0 = none: success, quarantine, or interruption).
+  std::uint64_t backoff_ns = 0;
+
+  bool ok() const { return failure.empty(); }
+};
+
+struct SweepOutcome {
+  std::string sweep_id;
+  std::size_t shards = 0;
+  std::vector<std::size_t> completed;    ///< verified during this run
+  std::vector<std::size_t> skipped;      ///< resume: already verified
+  std::vector<std::size_t> quarantined;  ///< failed every attempt
+  std::vector<AttemptRecord> attempts;   ///< full history, spawn order
+  int interrupted_by = 0;  ///< shutdown signal, 0 when none
+
+  bool complete() const {
+    return interrupted_by == 0 && quarantined.empty();
+  }
+};
+
+/// The deterministic retry delay before `attempt` (1-based retry index)
+/// of `shard`: min(base << (attempt-1), max) milliseconds, jittered to
+/// [50%, 100%] by an RNG seeded from (sweep id, shard, attempt). Pure —
+/// the unit tests pin the exact schedule.
+std::uint64_t backoff_delay_ns(const std::string& sweep_id,
+                               std::size_t shard, int attempt,
+                               std::uint64_t base_ms, std::uint64_t max_ms);
+
+/// Runs the sweep (see file comment). Throws std::invalid_argument on a
+/// bad spec/config (including a --resume directory whose manifest
+/// belongs to a different spec) and std::runtime_error when subprocess
+/// support is unavailable.
+SweepOutcome run_sweep(const SweepSpec& spec, const SupervisorConfig& config);
+
+/// The `mbcr worker` entry point: loads the manifest in `dir`, re-derives
+/// the shard plan, executes shard `shard`'s units, and atomically writes
+/// its journal entry. `attempt` is informational (log/fault targeting).
+/// Returns the process exit code.
+int run_worker(const std::string& dir, std::size_t shard, int attempt);
+
+}  // namespace mbcr::sweep

@@ -1,0 +1,119 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace mbcr::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Same directory as the destination so the rename cannot cross a
+  // filesystem boundary (which would silently fall back to copy+delete
+  // and lose atomicity).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      fail("cannot write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail("cannot close", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot rename into", path);
+  }
+  // Persist the rename: fsync the containing directory. Failure here is
+  // reported (the data may not survive a power cut) but the rename has
+  // already happened, so the destination is whole either way.
+  const std::string dir = dirname_of(path);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best-effort; some filesystems reject directory fsync
+    ::close(dfd);
+  }
+#else
+  // Non-POSIX fallback: plain truncate-and-write (no atomicity claim).
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("cannot write " + path);
+  file.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+  if (!file.good()) throw std::runtime_error("cannot write " + path);
+#endif
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return std::move(buffer).str();
+}
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string checksum_text(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const std::uint64_t hash = fnv1a64(data);
+  std::string out = "fnv1a64:";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(hash >> shift) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace mbcr::util

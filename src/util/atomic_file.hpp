@@ -1,0 +1,38 @@
+// Crash-safe file emission shared by every tool that writes a document:
+// study JSON/CSV, metrics/trace snapshots, bench reports, fuzz repros and
+// the sweep journal.
+//
+// The contract is all-or-nothing: a reader never observes a half-written
+// file. `write_file_atomic` writes to a same-directory temp file, fsyncs
+// it, renames it over the destination (rename(2) is atomic within a
+// filesystem) and fsyncs the directory so the rename itself survives a
+// power cut. A torn write can therefore only ever leave a stray `.tmp.*`
+// file behind, never a truncated destination — which is exactly the
+// invariant the sweep journal's resume verification builds on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mbcr::util {
+
+/// Atomically replaces `path` with `content` (temp + fsync + rename +
+/// directory fsync). Throws std::runtime_error with the failing path and
+/// errno text on any I/O error; the destination is untouched then.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Reads a whole file. Throws std::runtime_error("cannot read <path>")
+/// when it is absent or unreadable.
+std::string read_file(const std::string& path);
+
+/// FNV-1a 64-bit over `data` — the sweep journal's content checksum.
+/// Stable, dependency-free, and cheap; collision resistance is not a goal
+/// (the journal guards against torn writes, not adversaries).
+std::uint64_t fnv1a64(std::string_view data);
+
+/// `fnv1a64` formatted as the journal's checksum literal,
+/// "fnv1a64:<16 hex digits>".
+std::string checksum_text(std::string_view data);
+
+}  // namespace mbcr::util

@@ -1,0 +1,32 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mbcr::util {
+
+std::uint64_t SystemClock::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SystemClock::sleep_ns(std::uint64_t ns) {
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+void FakeClock::sleep_ns(std::uint64_t ns) {
+  sleeps_.push_back(ns);
+  now_ += ns;
+  if (real_nap_ns_ > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(real_nap_ns_));
+  }
+}
+
+}  // namespace mbcr::util

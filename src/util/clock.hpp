@@ -1,0 +1,63 @@
+// Injectable monotonic time for everything that must be unit-testable
+// without wall-clock flakiness: the sweep supervisor's retry backoff,
+// per-shard timeouts and poll loop all go through a `Clock*`.
+//
+// `SystemClock` is std::chrono::steady_clock + sleep_for. `FakeClock`
+// advances a virtual clock by exactly the requested amount on every
+// sleep (plus an optional tiny real nap so child processes the test
+// spawned still get scheduled), and records each sleep — a test can
+// assert the exact backoff sequence the supervisor asked for, with zero
+// real waiting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbcr::util {
+
+class Clock {
+public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds. Only differences are meaningful.
+  virtual std::uint64_t now_ns() = 0;
+
+  /// Blocks (really or virtually) for `ns` nanoseconds.
+  virtual void sleep_ns(std::uint64_t ns) = 0;
+};
+
+/// The real thing: steady_clock + this_thread::sleep_for.
+class SystemClock final : public Clock {
+public:
+  std::uint64_t now_ns() override;
+  void sleep_ns(std::uint64_t ns) override;
+
+  /// Process-wide instance for callers that take a `Clock*` default.
+  static SystemClock& instance();
+};
+
+/// Deterministic test clock: `sleep_ns` advances virtual time by exactly
+/// the requested amount and records it. `real_nap_ns` (default 200us) is
+/// slept for real on each virtual sleep so a child process the test is
+/// polling for can actually run; set it to 0 for pure-logic tests.
+class FakeClock final : public Clock {
+public:
+  explicit FakeClock(std::uint64_t start_ns = 0,
+                     std::uint64_t real_nap_ns = 200'000)
+      : now_(start_ns), real_nap_ns_(real_nap_ns) {}
+
+  std::uint64_t now_ns() override { return now_; }
+  void sleep_ns(std::uint64_t ns) override;
+
+  /// Moves virtual time without recording a sleep.
+  void advance_ns(std::uint64_t ns) { now_ += ns; }
+
+  const std::vector<std::uint64_t>& sleeps() const { return sleeps_; }
+
+private:
+  std::uint64_t now_;
+  std::uint64_t real_nap_ns_;
+  std::vector<std::uint64_t> sleeps_;
+};
+
+}  // namespace mbcr::util

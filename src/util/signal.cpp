@@ -1,0 +1,55 @@
+#include "util/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace mbcr::util {
+
+namespace {
+
+// Written from the signal handler: must be lock-free. Holds the first
+// shutdown signal received (0 = none); later signals keep the first so
+// the exit code reflects what actually interrupted the run.
+std::atomic<int> g_shutdown_signal{0};
+
+extern "C" void shutdown_handler(int sig) {
+  int expected = 0;
+  g_shutdown_signal.compare_exchange_strong(expected, sig,
+                                            std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action = {};
+  action.sa_handler = shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking waits wake with EINTR
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, shutdown_handler);
+  std::signal(SIGTERM, shutdown_handler);
+#endif
+}
+
+int shutdown_signal() noexcept {
+  return g_shutdown_signal.load(std::memory_order_relaxed);
+}
+
+int shutdown_exit_code() noexcept {
+  const int sig = shutdown_signal();
+  return sig == 0 ? 0 : 128 + sig;
+}
+
+void reset_shutdown() noexcept {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+}
+
+void throw_if_shutdown() {
+  const int sig = shutdown_signal();
+  if (sig != 0) throw ShutdownRequested(sig);
+}
+
+}  // namespace mbcr::util

@@ -1,0 +1,163 @@
+#include "util/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace mbcr::util {
+
+bool subprocess_supported() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+ExitStatus from_wait_status(int status) {
+  ExitStatus out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.exited = false;
+    out.signal = WTERMSIG(status);
+    out.exit_code = 128 + out.signal;
+  }
+  return out;
+}
+
+}  // namespace
+
+Child Child::spawn(const std::vector<std::string>& argv,
+                   const std::string& log_path,
+                   const std::vector<std::string>& extra_env) {
+  if (argv.empty()) throw std::runtime_error("subprocess: empty argv");
+
+  // Open the log in the parent so a failure is reported as an exception,
+  // not a silent 127 in the child.
+  int log_fd = -1;
+  if (!log_path.empty()) {
+    log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd < 0) {
+      throw std::runtime_error("subprocess: cannot open log " + log_path +
+                               ": " + std::strerror(errno));
+    }
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    if (log_fd >= 0) ::close(log_fd);
+    throw std::runtime_error(std::string("subprocess: fork failed: ") +
+                             std::strerror(saved));
+  }
+
+  if (pid == 0) {
+    // Child: wire the log, extend the environment, exec. Only
+    // async-signal-safe calls from here on.
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    for (const std::string& kv : extra_env) {
+      // putenv keeps a pointer; fine, we exec or _exit immediately.
+      ::putenv(const_cast<char*>(kv.c_str()));
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& arg : argv) {
+      cargv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed; the shell convention
+  }
+
+  if (log_fd >= 0) ::close(log_fd);
+  Child child;
+  child.pid_ = pid;
+  return child;
+}
+
+std::optional<ExitStatus> Child::poll() {
+  if (status_.has_value()) return status_;
+  if (pid_ <= 0) return std::nullopt;
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // ECHILD (already reaped elsewhere) or EINTR: report as failure so
+    // the supervisor retries rather than hanging on a lost child.
+    ExitStatus lost;
+    lost.exited = true;
+    lost.exit_code = 127;
+    status_ = lost;
+    return status_;
+  }
+  status_ = from_wait_status(status);
+  return status_;
+}
+
+ExitStatus Child::wait() {
+  if (status_.has_value()) return *status_;
+  int status = 0;
+  while (::waitpid(static_cast<pid_t>(pid_), &status, 0) < 0) {
+    if (errno != EINTR) {
+      ExitStatus lost;
+      lost.exited = true;
+      lost.exit_code = 127;
+      status_ = lost;
+      return *status_;
+    }
+  }
+  status_ = from_wait_status(status);
+  return *status_;
+}
+
+void Child::kill(int sig) {
+  if (pid_ > 0 && !status_.has_value()) {
+    ::kill(static_cast<pid_t>(pid_), sig);
+  }
+}
+
+std::string current_executable(const std::string& argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return argv0;
+}
+
+#else  // non-POSIX stubs: fail loudly, never pretend
+
+Child Child::spawn(const std::vector<std::string>&, const std::string&,
+                   const std::vector<std::string>&) {
+  throw std::runtime_error("subprocess support unavailable on this platform");
+}
+
+std::optional<ExitStatus> Child::poll() { return std::nullopt; }
+
+ExitStatus Child::wait() { return {}; }
+
+void Child::kill(int) {}
+
+std::string current_executable(const std::string& argv0) { return argv0; }
+
+#endif
+
+}  // namespace mbcr::util

@@ -1,0 +1,68 @@
+// Child-process plumbing for the sweep supervisor: spawn a worker with
+// its stdout/stderr routed to a log file, poll it without blocking, kill
+// it on timeout, and reap its exit status.
+//
+// POSIX-only (fork/execvp/waitpid); the supervisor is compiled
+// everywhere but reports "subprocess support unavailable" off-POSIX
+// rather than pretending. Exec failure inside the child exits 127, the
+// shell convention, so the supervisor sees it as an ordinary failed
+// attempt.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mbcr::util {
+
+/// True when this platform can spawn children (POSIX).
+bool subprocess_supported() noexcept;
+
+/// How a child ended: either a normal exit with `exit_code`, or death by
+/// `signal` (exit_code then carries the 128+sig convention).
+struct ExitStatus {
+  bool exited = false;  ///< true: exit(code); false: killed by `signal`
+  int exit_code = 0;
+  int signal = 0;
+
+  bool success() const { return exited && exit_code == 0; }
+};
+
+class Child {
+public:
+  Child() = default;
+
+  /// Forks and execs `argv` (argv[0] is the program; PATH is searched).
+  /// `log_path`, when non-empty, receives both stdout and stderr
+  /// (appended, so retries of the same shard accumulate one log).
+  /// `extra_env` entries ("NAME=value") are added to the environment.
+  /// Throws std::runtime_error when the fork itself fails.
+  static Child spawn(const std::vector<std::string>& argv,
+                     const std::string& log_path = {},
+                     const std::vector<std::string>& extra_env = {});
+
+  /// Non-blocking: the exit status if the child has ended, else nullopt.
+  /// After a status is returned the child is reaped; further calls return
+  /// the cached status.
+  std::optional<ExitStatus> poll();
+
+  /// Blocks until the child ends and returns its status.
+  ExitStatus wait();
+
+  /// Sends `sig` (default SIGKILL) — no-op once the child was reaped.
+  void kill(int sig = 9);
+
+  long pid() const { return pid_; }
+  bool running() const { return pid_ > 0 && !status_.has_value(); }
+
+private:
+  long pid_ = -1;
+  std::optional<ExitStatus> status_;
+};
+
+/// Absolute path of the running executable (/proc/self/exe when
+/// available), falling back to `argv0`. The supervisor uses this to
+/// re-exec itself as `mbcr worker`.
+std::string current_executable(const std::string& argv0);
+
+}  // namespace mbcr::util

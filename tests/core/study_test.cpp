@@ -457,7 +457,7 @@ TEST(StudyResult, JsonRoundTrips) {
   result.write_json(ss);
   const json::Value doc = json::parse(ss.str());
 
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v5");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v6");
   // Observability off: the optional accounting/metrics blocks must be
   // absent so default documents stay byte-identical across builds.
   EXPECT_EQ(doc.find("accounting"), nullptr);

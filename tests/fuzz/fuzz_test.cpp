@@ -221,7 +221,8 @@ TEST(FuzzRepro, RejectsMalformedDocuments) {
   repro.oracle = "nosuch";
   repro.data = make_case(9, 0, 2);
   EXPECT_THROW(run_repro(repro), std::invalid_argument);
-  EXPECT_THROW(load_repro("/nonexistent/repro.json"), std::runtime_error);
+  // A missing repro file is a usage error (exit 2), not a runtime one.
+  EXPECT_THROW(load_repro("/nonexistent/repro.json"), std::invalid_argument);
 }
 
 // --- the compile-time fault hook ------------------------------------------

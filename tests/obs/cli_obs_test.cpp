@@ -72,7 +72,7 @@ TEST(CliObs, AnalyzeStdoutIsASingleJsonDocumentUnderFullInstrumentation) {
   // so this line IS the stdout-purity pin: any stray progress line,
   // diagnostic, or second document on stdout fails the parse.
   const json::Value doc = json::parse(result.out);
-  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v5");
+  EXPECT_EQ(doc.at("schema").as_string(), "mbcr-study-v6");
 
   // The instrumented run must also surface its own cost: the optional v5
   // blocks are present when collection was armed — which requires the

@@ -1,0 +1,174 @@
+// The MBCR_SWEEP_FAULT hook, both ways:
+//   - regular builds: the env var is inert — the plan is always kNone,
+//     so a stray variable can never corrupt a production sweep;
+//   - fault builds (-DMBCR_SWEEP_FAULT=ON): each armed malfunction
+//     drives the supervisor's matching recovery path end to end against
+//     real `mbcr worker` processes — crash -> retry, truncate/badsum ->
+//     verification rejects exit-0 output, hang -> timeout SIGKILL.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/study.hpp"
+#include "sweep/fault.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/supervisor.hpp"
+#include "util/clock.hpp"
+
+namespace mbcr::sweep {
+namespace {
+
+struct FaultEnv {
+  explicit FaultEnv(const char* value) {
+    ::setenv("MBCR_SWEEP_FAULT", value, 1);
+  }
+  ~FaultEnv() { ::unsetenv("MBCR_SWEEP_FAULT"); }
+};
+
+TEST(SweepFault, DisarmedBuildsIgnoreTheEnvironment) {
+  if (sweep_fault_compiled_in()) GTEST_SKIP() << "fault build";
+  const FaultEnv env("crash@0");
+  EXPECT_EQ(fault_plan_from_env().mode, FaultMode::kNone);
+  // Even garbage is ignored when the hook is compiled out.
+  const FaultEnv garbage("not-a-mode@x");
+  EXPECT_EQ(fault_plan_from_env().mode, FaultMode::kNone);
+}
+
+TEST(SweepFault, TargetingMatchesShardAndOptionalAttempt) {
+  FaultPlan plan;
+  plan.mode = FaultMode::kCrash;
+  plan.shard = 2;
+  plan.attempt = -1;
+  EXPECT_TRUE(plan.targets(2, 0));
+  EXPECT_TRUE(plan.targets(2, 5));
+  EXPECT_FALSE(plan.targets(1, 0));
+  plan.attempt = 1;
+  EXPECT_FALSE(plan.targets(2, 0));
+  EXPECT_TRUE(plan.targets(2, 1));
+  plan.mode = FaultMode::kNone;
+  EXPECT_FALSE(plan.targets(2, 1));
+}
+
+#if defined(MBCR_SWEEP_FAULT)
+
+TEST(SweepFault, ParsesEveryModeAndRejectsTypos) {
+  {
+    const FaultEnv env("crash@2");
+    const FaultPlan plan = fault_plan_from_env();
+    EXPECT_EQ(plan.mode, FaultMode::kCrash);
+    EXPECT_EQ(plan.shard, 2u);
+    EXPECT_EQ(plan.attempt, -1);
+  }
+  {
+    const FaultEnv env("badsum@0#1");
+    const FaultPlan plan = fault_plan_from_env();
+    EXPECT_EQ(plan.mode, FaultMode::kBadsum);
+    EXPECT_EQ(plan.shard, 0u);
+    EXPECT_EQ(plan.attempt, 1);
+  }
+  {
+    const FaultEnv env("explode@0");
+    EXPECT_THROW(fault_plan_from_env(), std::invalid_argument);
+  }
+  {
+    const FaultEnv env("crash@x");
+    EXPECT_THROW(fault_plan_from_env(), std::invalid_argument);
+  }
+}
+
+#if defined(__unix__) && defined(MBCR_MBCR_BINARY)
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.base.suite = "bs";
+  spec.base.mode = core::StudyMode::kMeasure;
+  spec.base.measure_runs = 20;
+  return spec;
+}
+
+std::string fresh_dir(const char* name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+  std::remove((dir + "/manifest.json").c_str());
+  std::remove(shard_path(dir, 0).c_str());
+  ensure_journal_dirs(dir);
+  return dir;
+}
+
+SupervisorConfig worker_config(const std::string& dir, util::Clock* clock) {
+  SupervisorConfig config;
+  config.dir = dir;
+  config.clock = clock;
+  config.worker_command = {MBCR_MBCR_BINARY, "worker"};
+  return config;
+}
+
+TEST(SweepFault, CrashOnFirstAttemptIsRetriedToSuccess) {
+  const FaultEnv env("crash@0#0");  // inherited by the spawned workers
+  const std::string dir = fresh_dir("mbcr_fault_crash");
+  util::FakeClock clock;
+  SupervisorConfig config = worker_config(dir, &clock);
+  config.retries = 2;
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  EXPECT_TRUE(out.complete());
+  ASSERT_EQ(out.attempts.size(), 2u);
+  EXPECT_EQ(out.attempts[0].exit_code, 1);
+  EXPECT_FALSE(out.attempts[0].ok());
+  EXPECT_TRUE(out.attempts[1].ok());
+}
+
+TEST(SweepFault, TruncatedOutputIsRejectedDespiteExitZero) {
+  const FaultEnv env("truncate@0");  // every attempt
+  const std::string dir = fresh_dir("mbcr_fault_truncate");
+  util::FakeClock clock;
+  SupervisorConfig config = worker_config(dir, &clock);
+  config.retries = 1;
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  EXPECT_FALSE(out.complete());
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 2u);
+  for (const AttemptRecord& a : out.attempts) {
+    EXPECT_EQ(a.exit_code, 0);  // the worker *claimed* success
+    EXPECT_FALSE(a.ok());
+  }
+}
+
+TEST(SweepFault, LyingChecksumIsRejectedDespiteExitZero) {
+  const FaultEnv env("badsum@0");
+  const std::string dir = fresh_dir("mbcr_fault_badsum");
+  util::FakeClock clock;
+  SupervisorConfig config = worker_config(dir, &clock);
+  config.retries = 0;
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_EQ(out.attempts[0].exit_code, 0);
+  EXPECT_NE(out.attempts[0].failure.find("checksum"), std::string::npos);
+}
+
+TEST(SweepFault, HangingWorkerIsKilledByTheTimeout) {
+  const FaultEnv env("hang@0");
+  const std::string dir = fresh_dir("mbcr_fault_hang");
+  util::FakeClock clock;
+  SupervisorConfig config = worker_config(dir, &clock);
+  config.retries = 0;
+  config.timeout_s = 0.05;  // virtual; the hang sleeps real time
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_TRUE(out.attempts[0].timed_out);
+  EXPECT_EQ(out.attempts[0].term_signal, 9);
+}
+
+#endif  // __unix__ && MBCR_MBCR_BINARY
+#endif  // MBCR_SWEEP_FAULT
+
+}  // namespace
+}  // namespace mbcr::sweep

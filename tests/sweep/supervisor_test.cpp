@@ -1,0 +1,286 @@
+// The supervisor's retry/timeout/quarantine state machine, driven on a
+// FakeClock with /bin/sh stub workers so every scenario is deterministic
+// and near-instant: backoff schedules are pure functions, timeouts fire
+// virtually, and "success" always means a *verified* journal entry —
+// exit code 0 with bad output is still a failed attempt.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "core/study.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/supervisor.hpp"
+#include "util/atomic_file.hpp"
+#include "util/clock.hpp"
+#include "util/signal.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbcr::sweep {
+namespace {
+
+std::string fresh_dir(const char* name) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+  std::remove((dir + "/manifest.json").c_str());
+  for (int s = 0; s < 8; ++s) {
+    std::remove(shard_path(dir, static_cast<std::size_t>(s)).c_str());
+  }
+  ensure_journal_dirs(dir);
+  return dir;
+}
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.base.suite = "bs";
+  spec.base.mode = core::StudyMode::kMeasure;
+  spec.base.measure_runs = 20;
+  return spec;
+}
+
+/// Writes an executable stub and returns a worker_command invoking it.
+/// The supervisor appends --dir D --shard K --attempt A, so the script
+/// sees the shard as $4 and the attempt as $6.
+std::vector<std::string> stub_worker(const std::string& dir,
+                                     const std::string& body) {
+  const std::string script = dir + "/worker.sh";
+  util::write_file_atomic(script, "#!/bin/sh\n" + body + "\n");
+  return {"/bin/sh", script};
+}
+
+TEST(Backoff, IsAPureDeterministicFunctionWithBoundedJitter) {
+  const std::string id = "0123456789abcdef";
+  EXPECT_EQ(backoff_delay_ns(id, 2, 1, 100, 5000),
+            backoff_delay_ns(id, 2, 1, 100, 5000));
+  // Jitter stays within [50%, 100%] of the exponential envelope.
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const std::uint64_t cap_ms =
+        std::min<std::uint64_t>(5000, 100ull << (attempt - 1));
+    const std::uint64_t d = backoff_delay_ns(id, 0, attempt, 100, 5000);
+    EXPECT_GE(d, cap_ms * 1'000'000 / 2);
+    EXPECT_LE(d, cap_ms * 1'000'000);
+  }
+  // Different shards (and different sweeps) desynchronize.
+  EXPECT_NE(backoff_delay_ns(id, 0, 1, 100, 5000),
+            backoff_delay_ns(id, 1, 1, 100, 5000));
+  EXPECT_NE(backoff_delay_ns(id, 0, 1, 100, 5000),
+            backoff_delay_ns("ffffffffffffffff", 0, 1, 100, 5000));
+}
+
+#if defined(__unix__)
+
+TEST(Supervisor, QuarantinesAfterBoundedRetriesWithRecordedBackoff) {
+  const std::string dir = fresh_dir("mbcr_sup_quarantine");
+  const SweepSpec spec = tiny_spec();
+  util::FakeClock clock;
+
+  SupervisorConfig config;
+  config.dir = dir;
+  config.shards = 1;
+  config.retries = 2;
+  config.clock = &clock;
+  config.worker_command = stub_worker(dir, "exit 3");
+
+  const SweepOutcome out = run_sweep(spec, config);
+  EXPECT_FALSE(out.complete());
+  EXPECT_TRUE(out.completed.empty());
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0], 0u);
+  ASSERT_EQ(out.attempts.size(), 3u);
+  for (const AttemptRecord& a : out.attempts) {
+    EXPECT_FALSE(a.ok());
+    EXPECT_EQ(a.exit_code, 3);
+    EXPECT_NE(a.failure.find("exit code 3"), std::string::npos);
+  }
+  // Each retry was scheduled with the exact pure-function delay.
+  EXPECT_EQ(out.attempts[0].backoff_ns,
+            backoff_delay_ns(out.sweep_id, 0, 1, config.backoff_base_ms,
+                             config.backoff_max_ms));
+  EXPECT_EQ(out.attempts[1].backoff_ns,
+            backoff_delay_ns(out.sweep_id, 0, 2, config.backoff_base_ms,
+                             config.backoff_max_ms));
+  EXPECT_EQ(out.attempts[2].backoff_ns, 0u);  // quarantined, no retry
+}
+
+TEST(Supervisor, ExitZeroWithoutVerifiedOutputIsAFailedAttempt) {
+  const std::string dir = fresh_dir("mbcr_sup_noout");
+  SupervisorConfig config;
+  config.dir = dir;
+  config.retries = 0;
+  util::FakeClock clock;
+  config.clock = &clock;
+  config.worker_command = stub_worker(dir, "exit 0");
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_EQ(out.attempts[0].exit_code, 0);
+  EXPECT_NE(out.attempts[0].failure.find("missing result"),
+            std::string::npos);
+}
+
+TEST(Supervisor, RetriesUntilAVerifiedResultAppears) {
+  const std::string dir = fresh_dir("mbcr_sup_retry");
+  const SweepSpec spec = tiny_spec();
+
+  // Stage the valid journal entry the second attempt will "produce".
+  const auto points = spec.expand();
+  const auto units = expand_units(spec, points);
+  ShardResult result;
+  result.shard = 0;
+  result.units = {units[0]};
+  result.studies = {core::run_study(points[0]).to_json()};
+  util::write_file_atomic(dir + "/staged.json",
+                          shard_result_text(spec.id(), result));
+
+  SupervisorConfig config;
+  config.dir = dir;
+  config.retries = 2;
+  util::FakeClock clock;
+  config.clock = &clock;
+  config.worker_command = stub_worker(
+      dir, "if [ \"$6\" = \"1\" ]; then cp '" + dir + "/staged.json' '" +
+               shard_path(dir, 0) + "'; exit 0; else exit 9; fi");
+
+  const SweepOutcome out = run_sweep(spec, config);
+  EXPECT_TRUE(out.complete());
+  ASSERT_EQ(out.completed.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 2u);
+  EXPECT_FALSE(out.attempts[0].ok());
+  EXPECT_TRUE(out.attempts[1].ok());
+  EXPECT_EQ(out.attempts[1].attempt, 1);
+}
+
+TEST(Supervisor, TimeoutKillsTheWorkerOnVirtualTime) {
+  const std::string dir = fresh_dir("mbcr_sup_timeout");
+  SupervisorConfig config;
+  config.dir = dir;
+  config.retries = 0;
+  config.timeout_s = 0.01;  // 10 virtual milliseconds
+  util::FakeClock clock;
+  config.clock = &clock;
+  config.worker_command = stub_worker(dir, "sleep 30");
+
+  const SweepOutcome out = run_sweep(tiny_spec(), config);
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_TRUE(out.attempts[0].timed_out);
+  EXPECT_EQ(out.attempts[0].term_signal, SIGKILL);
+  EXPECT_NE(out.attempts[0].failure.find("timeout"), std::string::npos);
+}
+
+TEST(Supervisor, WorkerKilledMidShardIsRetriedLikeAnyFailure) {
+  const std::string dir = fresh_dir("mbcr_sup_sigkill");
+  const SweepSpec spec = tiny_spec();
+
+  const auto points = spec.expand();
+  const auto units = expand_units(spec, points);
+  ShardResult result;
+  result.shard = 0;
+  result.units = {units[0]};
+  result.studies = {core::run_study(points[0]).to_json()};
+  util::write_file_atomic(dir + "/staged.json",
+                          shard_result_text(spec.id(), result));
+
+  SupervisorConfig config;
+  config.dir = dir;
+  config.retries = 1;
+  util::FakeClock clock;
+  config.clock = &clock;
+  // Attempt 0 hangs (and gets SIGKILLed below); attempt 1 completes.
+  config.worker_command = stub_worker(
+      dir, "if [ \"$6\" = \"1\" ]; then cp '" + dir + "/staged.json' '" +
+               shard_path(dir, 0) + "'; exit 0; else sleep 30; fi");
+  config.on_spawn = [](std::size_t, int attempt, long pid) {
+    if (attempt == 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+  };
+
+  const SweepOutcome out = run_sweep(spec, config);
+  EXPECT_TRUE(out.complete());
+  ASSERT_EQ(out.attempts.size(), 2u);
+  EXPECT_EQ(out.attempts[0].term_signal, SIGKILL);
+  EXPECT_NE(out.attempts[0].failure.find("signal 9"), std::string::npos);
+  EXPECT_TRUE(out.attempts[1].ok());
+}
+
+TEST(Supervisor, ResumeSkipsVerifiedShardsAndRerunsTheRest) {
+  const std::string dir = fresh_dir("mbcr_sup_resume");
+  SweepSpec spec = tiny_spec();
+  spec.suites = {"bs", "crc"};
+  const auto points = spec.expand();
+  const auto units = expand_units(spec, points);
+  const auto ranges = assign_shards(units.size(), 2);
+
+  // First run: everything fails (no output), both shards quarantined.
+  SupervisorConfig config;
+  config.dir = dir;
+  config.shards = 2;
+  config.retries = 0;
+  util::FakeClock clock;
+  config.clock = &clock;
+  config.worker_command = stub_worker(dir, "exit 1");
+  const SweepOutcome first = run_sweep(spec, config);
+  EXPECT_EQ(first.quarantined.size(), 2u);
+
+  // Repair shard 1 by hand, then resume: shard 1 is skipped, shard 0
+  // re-run (still failing), and the manifest keeps the 2-shard plan even
+  // though --shards now says 5.
+  ShardResult r1;
+  r1.shard = 1;
+  for (std::size_t u = ranges[1].begin; u < ranges[1].end; ++u) {
+    r1.units.push_back(units[u]);
+    r1.studies.push_back(core::run_study(points[units[u].point]).to_json());
+  }
+  write_shard_result(dir, spec.id(), r1);
+
+  config.resume = true;
+  config.shards = 5;
+  const SweepOutcome second = run_sweep(spec, config);
+  EXPECT_EQ(second.shards, 2u);
+  ASSERT_EQ(second.skipped.size(), 1u);
+  EXPECT_EQ(second.skipped[0], 1u);
+  ASSERT_EQ(second.quarantined.size(), 1u);
+  EXPECT_EQ(second.quarantined[0], 0u);
+
+  // Resuming with a *different* spec is refused outright.
+  SweepSpec other = spec;
+  other.seeds = {42};
+  EXPECT_THROW(run_sweep(other, config), std::invalid_argument);
+}
+
+TEST(Supervisor, ShutdownSignalStopsSpawningAndReportsInterruption) {
+  const std::string dir = fresh_dir("mbcr_sup_interrupt");
+  SweepSpec spec = tiny_spec();
+  spec.suites = {"bs", "crc"};
+
+  util::install_shutdown_handlers();
+  util::reset_shutdown();
+
+  SupervisorConfig config;
+  config.dir = dir;
+  config.shards = 2;
+  config.jobs = 1;  // shard 1 must still be pending when the signal lands
+  config.retries = 2;
+  util::FakeClock clock;
+  config.clock = &clock;
+  config.worker_command = stub_worker(dir, "sleep 30");
+  config.on_spawn = [](std::size_t, int, long) { std::raise(SIGINT); };
+
+  const SweepOutcome out = run_sweep(spec, config);
+  util::reset_shutdown();
+  EXPECT_EQ(out.interrupted_by, SIGINT);
+  EXPECT_FALSE(out.complete());
+  // The pending shard was abandoned, not quarantined, and the running
+  // worker's death is recorded as an interruption, not a retryable
+  // failure.
+  EXPECT_TRUE(out.quarantined.empty());
+  ASSERT_EQ(out.attempts.size(), 1u);
+  EXPECT_EQ(out.attempts[0].failure, "interrupted");
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace mbcr::sweep

@@ -1,0 +1,153 @@
+// The fault-tolerance plumbing under the sweep: atomic file emission,
+// injectable clocks, the shutdown-signal flag and the child-process
+// wrapper. These are the pieces everything in src/sweep leans on, so
+// they get direct unit coverage here.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/atomic_file.hpp"
+#include "util/clock.hpp"
+#include "util/signal.hpp"
+#include "util/subprocess.hpp"
+
+namespace mbcr::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+TEST(AtomicFile, WritesAndOverwrites) {
+  const std::string path = temp_path("mbcr_atomic_file_test.txt");
+  write_file_atomic(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  // Overwrite is a whole-file replace, not an append.
+  write_file_atomic(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file(temp_path("mbcr_atomic_no_such_file")),
+               std::runtime_error);
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryThrowsAndLeavesNothing) {
+  const std::string path = temp_path("mbcr_no_such_dir/x.txt");
+  EXPECT_THROW(write_file_atomic(path, "x"), std::runtime_error);
+  EXPECT_THROW(read_file(path), std::runtime_error);
+}
+
+TEST(AtomicFile, ChecksumIsStableAndDiscriminates) {
+  // FNV-1a 64 offset basis: the checksum of the empty string is pinned,
+  // so the journal format cannot drift silently.
+  EXPECT_EQ(checksum_text(""), "fnv1a64:cbf29ce484222325");
+  EXPECT_EQ(checksum_text("abc"), checksum_text("abc"));
+  EXPECT_NE(checksum_text("abc"), checksum_text("abd"));
+  EXPECT_EQ(checksum_text("abc").size(), 8 + 16u);
+}
+
+TEST(FakeClock, SleepAdvancesVirtualTimeExactlyAndRecords) {
+  FakeClock clock(1000, /*real_nap_ns=*/0);
+  EXPECT_EQ(clock.now_ns(), 1000u);
+  clock.sleep_ns(250);
+  clock.sleep_ns(4750);
+  EXPECT_EQ(clock.now_ns(), 6000u);
+  ASSERT_EQ(clock.sleeps().size(), 2u);
+  EXPECT_EQ(clock.sleeps()[0], 250u);
+  EXPECT_EQ(clock.sleeps()[1], 4750u);
+  // advance_ns moves time without recording a sleep.
+  clock.advance_ns(100);
+  EXPECT_EQ(clock.now_ns(), 6100u);
+  EXPECT_EQ(clock.sleeps().size(), 2u);
+}
+
+TEST(SystemClock, IsMonotonic) {
+  SystemClock& clock = SystemClock::instance();
+  const std::uint64_t a = clock.now_ns();
+  clock.sleep_ns(1'000'000);
+  EXPECT_GE(clock.now_ns(), a + 1'000'000);
+}
+
+TEST(Signal, HandlerSetsFlagWithConventionalExitCode) {
+  install_shutdown_handlers();
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+  EXPECT_EQ(shutdown_exit_code(), 0);
+  EXPECT_NO_THROW(throw_if_shutdown());
+
+  std::raise(SIGTERM);
+  EXPECT_TRUE(shutdown_requested());
+  EXPECT_EQ(shutdown_signal(), SIGTERM);
+  EXPECT_EQ(shutdown_exit_code(), 128 + SIGTERM);
+  EXPECT_THROW(throw_if_shutdown(), ShutdownRequested);
+  try {
+    throw_if_shutdown();
+  } catch (const ShutdownRequested& e) {
+    EXPECT_EQ(e.signal(), SIGTERM);
+    EXPECT_EQ(e.exit_code(), 143);
+  }
+  reset_shutdown();
+  EXPECT_FALSE(shutdown_requested());
+}
+
+#if defined(__unix__)
+
+TEST(Subprocess, CapturesExitCodeAndLog) {
+  ASSERT_TRUE(subprocess_supported());
+  const std::string log = temp_path("mbcr_subprocess_test.log");
+  std::remove(log.c_str());
+  Child child = Child::spawn({"/bin/sh", "-c", "echo hello; exit 7"}, log);
+  EXPECT_GT(child.pid(), 0);
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 7);
+  EXPECT_FALSE(status.success());
+  EXPECT_NE(read_file(log).find("hello"), std::string::npos);
+  std::remove(log.c_str());
+}
+
+TEST(Subprocess, ReportsSignalDeathAs128PlusSig) {
+  Child child = Child::spawn({"/bin/sh", "-c", "kill -9 $$"});
+  const ExitStatus status = child.wait();
+  EXPECT_FALSE(status.exited);
+  EXPECT_EQ(status.signal, 9);
+  EXPECT_EQ(status.exit_code, 137);
+}
+
+TEST(Subprocess, PollIsNonBlockingAndKillWorks) {
+  Child child = Child::spawn({"/bin/sh", "-c", "sleep 30"});
+  EXPECT_TRUE(child.running());
+  EXPECT_FALSE(child.poll().has_value());
+  child.kill();
+  const ExitStatus status = child.wait();
+  EXPECT_FALSE(status.exited);
+  EXPECT_EQ(status.signal, 9);
+  EXPECT_FALSE(child.running());
+  // Status is cached after the reap.
+  ASSERT_TRUE(child.poll().has_value());
+  EXPECT_EQ(child.poll()->signal, 9);
+}
+
+TEST(Subprocess, ExecFailureExits127) {
+  Child child = Child::spawn({"/no/such/binary/mbcr-test"});
+  const ExitStatus status = child.wait();
+  EXPECT_TRUE(status.exited);
+  EXPECT_EQ(status.exit_code, 127);
+}
+
+TEST(Subprocess, CurrentExecutableIsAbsolute) {
+  const std::string exe = current_executable("fallback");
+  ASSERT_FALSE(exe.empty());
+  EXPECT_EQ(exe.front(), '/');
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace mbcr::util

@@ -15,11 +15,19 @@
 //   mbcr analyze --spec bs.json                       # replay a saved spec
 //   mbcr fuzz --programs 50 --seeds 8 --rng-seed 1    # differential fuzzing
 //   mbcr fuzz --replay tests/fuzz_corpus/corpus/x.json  # replay one repro
+//   mbcr sweep --suites bs,crc --seeds 1,2 --shards 4 --json grid.json
+//   mbcr sweep --dir mbcr-sweep --resume              # finish a crashed sweep
 //
 // All subcommands accept the StudySpec flag surface (see `mbcr analyze
 // --help`); results can be emitted as JSON (--json FILE) and CSV
-// (--csv FILE), with "-" meaning stdout.
+// (--csv FILE), with "-" meaning stdout. File outputs are written
+// atomically (temp + rename), so a killed run never leaves a torn file.
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 partial sweep
+// (quarantined shards, usable partial result), 130/143 interrupted by
+// SIGINT/SIGTERM.
 #include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -27,6 +35,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/report.hpp"
 #include "core/study.hpp"
@@ -40,8 +49,12 @@
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "suite/malardalen.hpp"
+#include "sweep/merge.hpp"
+#include "sweep/supervisor.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/signal.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -72,9 +85,12 @@ void emit_to(const std::string& path, const char* what,
     write(std::cout);
     return;
   }
-  std::ofstream file(path);
-  if (!file) throw std::runtime_error(std::string("cannot write ") + path);
-  write(file);
+  // All file emitters go through the atomic writer: an interrupted or
+  // crashed run leaves either the previous file or the new one, never a
+  // truncated hybrid.
+  std::ostringstream text;
+  write(text);
+  util::write_file_atomic(path, text.str());
   std::cerr << "[" << what << " written to " << path << "]\n";
 }
 
@@ -131,11 +147,18 @@ void emit_obs(const ObsRequest& req) {
 }
 
 core::StudySpec load_spec_file(const std::string& path) {
+  // Fail closed, loudly, as a *usage* error (exit 2): a missing file, torn
+  // JSON (parse errors carry the byte offset) or a type-mangled spec all
+  // surface with the path attached — never a half-default spec.
   std::ifstream file(path);
-  if (!file) throw std::runtime_error("cannot read " + path);
+  if (!file) throw std::invalid_argument("--spec: cannot read " + path);
   std::stringstream buffer;
   buffer << file.rdbuf();
-  return core::StudySpec::from_json(json::parse(buffer.str()));
+  try {
+    return core::StudySpec::from_json(json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    throw std::invalid_argument("--spec " + path + ": " + e.what());
+  }
 }
 
 int emit(const core::StudyResult& result, const SubcommandCli::Parsed& cmd) {
@@ -339,6 +362,13 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
       std::cout << "    repro: " << f.repro_path << "\n";
     }
   }
+  if (report.interrupted_by != 0) {
+    // The campaign stopped early on SIGINT/SIGTERM; everything written so
+    // far (repros, bench doc) is intact, but signal the interruption.
+    std::cerr << "mbcr: fuzz interrupted by signal " << report.interrupted_by
+              << " after " << report.cases_run << " case(s)\n";
+    return 128 + report.interrupted_by;
+  }
   return report.ok() ? 0 : 1;
 }
 
@@ -396,6 +426,132 @@ int cmd_lint(const SubcommandCli::Parsed& cmd) {
   return (fatal && rejected > 0) ? 1 : 0;
 }
 
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += c;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+std::uint64_t parse_u64(const char* flag, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return static_cast<std::uint64_t>(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("--") + flag +
+                                ": not an unsigned integer: " + text);
+  }
+}
+
+/// The sweep axes + supervisor knobs on top of the StudySpec surface.
+std::map<std::string, std::string> sweep_flags() {
+  std::map<std::string, std::string> flags = core::StudySpec::flag_spec();
+  flags.emplace("suites", "");       // comma lists; empty = base value
+  flags.emplace("geometries", "");   // e.g. 64x2,128x4
+  flags.emplace("l2-policies", "");  // random,lru (needs L2 enabled)
+  flags.emplace("placements", "");   // hash,modulo
+  flags.emplace("seeds", "");        // campaign master seeds
+  flags.emplace("slice-runs", "0");  // measure mode: runs per unit
+  flags.emplace("shards", "1");
+  flags.emplace("jobs", "0");        // 0 = min(shards, cores)
+  flags.emplace("retries", "2");
+  flags.emplace("timeout-s", "0");   // per-attempt; 0 = unlimited
+  flags.emplace("backoff-ms", "100");
+  flags.emplace("backoff-max-ms", "5000");
+  flags.emplace("dir", "mbcr-sweep");
+  flags.emplace("resume", "false");
+  flags.emplace("json", "");
+  return flags;
+}
+
+int cmd_sweep(const SubcommandCli::Parsed& cmd, const char* argv0) {
+  sweep::SupervisorConfig config;
+  config.shards = static_cast<std::size_t>(cmd.integer("shards"));
+  config.jobs = static_cast<std::size_t>(cmd.integer("jobs"));
+  config.retries = static_cast<int>(cmd.integer("retries"));
+  config.timeout_s = cmd.real("timeout-s");
+  config.backoff_base_ms =
+      static_cast<std::uint64_t>(cmd.integer("backoff-ms"));
+  config.backoff_max_ms =
+      static_cast<std::uint64_t>(cmd.integer("backoff-max-ms"));
+  config.dir = cmd.str("dir");
+  config.resume = parse_bool("resume", cmd.str("resume"));
+  config.argv0 = argv0;
+  config.log = &std::cerr;
+
+  sweep::SweepSpec spec;
+  if (config.resume) {
+    // On --resume the journaled manifest is the single source of truth;
+    // the study/axis flags on the command line are ignored, so a resumed
+    // sweep cannot silently diverge from what its journal records.
+    spec = sweep::SweepSpec::from_json(
+        sweep::load_manifest(config.dir).spec);
+  } else {
+    spec.base = core::StudySpec::from_flags(cmd.values);
+    spec.suites = split_list(cmd.str("suites"));
+    spec.geometries = split_list(cmd.str("geometries"));
+    spec.l2_policies = split_list(cmd.str("l2-policies"));
+    spec.placements = split_list(cmd.str("placements"));
+    for (const std::string& s : split_list(cmd.str("seeds"))) {
+      spec.seeds.push_back(parse_u64("seeds", s));
+    }
+    spec.slice_runs = static_cast<std::size_t>(cmd.integer("slice-runs"));
+  }
+
+  const sweep::SweepOutcome outcome = sweep::run_sweep(spec, config);
+  const sweep::MergeOutput merged = sweep::merge_sweep(config.dir);
+
+  const std::string& json_path = cmd.str("json");
+  if (!json_path.empty()) {
+    emit_to(json_path, "sweep json", [&](std::ostream& os) {
+      merged.doc.write(os, 2);
+      os << "\n";
+    });
+  }
+  if (json_path != "-") {
+    std::cout << "sweep " << outcome.sweep_id << ": " << merged.points
+              << " point(s) over " << outcome.shards << " shard(s); "
+              << outcome.completed.size() << " completed, "
+              << outcome.skipped.size() << " skipped (resume), "
+              << outcome.quarantined.size() << " quarantined\n";
+    if (!outcome.quarantined.empty()) {
+      std::cout << "  quarantined shard(s):";
+      for (const std::size_t s : outcome.quarantined) std::cout << " " << s;
+      std::cout << "\n";
+    }
+    if (merged.partial) {
+      std::cout << "  partial result: " << merged.points_complete << "/"
+                << merged.points
+                << " point(s) complete; re-run with --resume to retry the "
+                   "failed shards\n";
+    }
+  }
+  if (outcome.interrupted_by != 0) {
+    std::cerr << "mbcr: sweep interrupted by signal " << outcome.interrupted_by
+              << "; journal kept in " << config.dir
+              << " (finish with --resume)\n";
+    return 128 + outcome.interrupted_by;
+  }
+  if (merged.partial) return merged.any_results() ? 3 : 1;
+  return 0;
+}
+
+int cmd_worker(const SubcommandCli::Parsed& cmd) {
+  return sweep::run_worker(cmd.str("dir"),
+                           static_cast<std::size_t>(cmd.integer("shard")),
+                           static_cast<int>(cmd.integer("attempt")));
+}
+
 int cmd_report(const SubcommandCli::Parsed& cmd) {
   const std::string& path = cmd.str("file");
   std::ifstream file(path);
@@ -447,8 +603,18 @@ int main(int argc, char** argv) {
                                    {"replay", ""},
                                    {"bench-json", ""}}),
                    {}});
+  cli.add_command({"sweep",
+                   "fault-tolerant sharded sweep over a study grid",
+                   with_obs_flags(sweep_flags()), {}});
+  cli.add_command({"worker",
+                   "internal: execute one sweep shard (spawned by sweep)",
+                   with_obs_flags(
+                       {{"dir", "mbcr-sweep"}, {"shard", "0"},
+                        {"attempt", "0"}}),
+                   {}});
 
   const SubcommandCli::Parsed cmd = cli.parse_or_exit(argc, argv);
+  util::install_shutdown_handlers();
   try {
     const ObsRequest obs_req = setup_obs(cmd);
     const int code = [&]() -> int {
@@ -460,11 +626,18 @@ int main(int argc, char** argv) {
       if (cmd.command == "lint") return cmd_lint(cmd);
       if (cmd.command == "report") return cmd_report(cmd);
       if (cmd.command == "fuzz") return cmd_fuzz(cmd);
+      if (cmd.command == "sweep") return cmd_sweep(cmd, argv[0]);
+      if (cmd.command == "worker") return cmd_worker(cmd);
       std::cerr << "mbcr: unhandled subcommand " << cmd.command << "\n";
       return 1;
     }();
     emit_obs(obs_req);
     return code;
+  } catch (const util::ShutdownRequested& e) {
+    // A campaign/fuzz loop unwound on SIGINT/SIGTERM: conventional shell
+    // exit code (130/143), distinct from failures and usage errors.
+    std::cerr << "mbcr: interrupted by signal " << e.signal() << "\n";
+    return e.exit_code();
   } catch (const std::invalid_argument& e) {
     // Bad flag *values* (unknown enum spellings like --l2-policy bogus,
     // malformed numbers, inconsistent specs) take the same loud path as
