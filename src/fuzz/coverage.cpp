@@ -1,0 +1,67 @@
+#include "fuzz/coverage.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string_view>
+
+namespace mbcr::fuzz {
+
+namespace {
+
+/// Counter families that are pure functions of the case. Everything else
+/// (pool scheduling, sweep bookkeeping, shrink-time oracle re-runs) is
+/// either nondeterministic across thread counts or not case-local.
+constexpr std::string_view kPrefixes[] = {
+    "replay.",  "vm.op.", "campaign.", "convergence.",
+    "tac.",     "verify.", "fuzz.oracle.",
+};
+
+}  // namespace
+
+bool coverage_counter(const std::string& name) {
+  const std::string_view sv(name);
+  // Time-valued counters (wall_ns, busy_ns) vary run to run.
+  if (sv.size() >= 3 && sv.substr(sv.size() - 3) == "_ns") return false;
+  for (const std::string_view prefix : kPrefixes) {
+    if (sv.substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+std::vector<Feature> features_from_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& delta) {
+  std::vector<Feature> out;
+  for (const auto& [name, growth] : delta) {
+    if (growth == 0 || !coverage_counter(name)) continue;
+    out.push_back(name + "#" + std::to_string(std::bit_width(growth)));
+  }
+  // delta_since is name-sorted and bucketing preserves uniqueness per
+  // name, so `out` is already sorted and unique.
+  return out;
+}
+
+std::vector<Feature> CoverageMap::add(const std::vector<Feature>& features) {
+  std::vector<Feature> fresh;
+  for (const Feature& f : features) {
+    auto [it, inserted] = hits_.try_emplace(f, 0);
+    ++it->second;
+    if (inserted) fresh.push_back(f);
+  }
+  return fresh;
+}
+
+std::uint64_t CoverageMap::hits(const Feature& f) const {
+  const auto it = hits_.find(f);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+double CoverageMap::rarity(const std::vector<Feature>& features) const {
+  double energy = 0.0;
+  for (const Feature& f : features) {
+    const std::uint64_t n = hits(f);
+    if (n > 0) energy += 1.0 / static_cast<double>(n);
+  }
+  return energy;
+}
+
+}  // namespace mbcr::fuzz

@@ -1,0 +1,62 @@
+// Coverage features for the guided fuzzer.
+//
+// A "feature" is a deterministic summary of what one fuzz case made the
+// engine do, derived from the growth of the obs counter registry across
+// the case: `replay.l2_lru.runs#6` means the case grew that counter by a
+// value in [2^5, 2^6). Bucketing by bit width keeps the feature space
+// small while still separating "touched the LRU-L2 replay path once"
+// from "hammered it hundreds of times".
+//
+// Determinism contract: a case's feature vector is a pure function of
+// the case. Only counters under an allowlisted prefix participate, and
+// time-valued counters (`*_ns`) are excluded, so the vector is identical
+// across thread counts, machines and reruns — which is what makes
+// byte-identical guided corpora possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mbcr::fuzz {
+
+/// One coverage feature: "<counter name>#<bit width of the delta>".
+using Feature = std::string;
+
+/// Derives the feature vector of one case from the counter growth it
+/// caused (a `CounterSnapshot::delta_since` result). Sorted, unique.
+std::vector<Feature> features_from_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& delta);
+
+/// Whether a counter name participates in coverage (allowlisted prefix,
+/// not time-valued). Exposed for tests.
+bool coverage_counter(const std::string& name);
+
+/// The accumulated coverage of one fuzzing campaign: every feature ever
+/// lit and how many cases lit it.
+class CoverageMap {
+public:
+  /// Folds one case's features in; returns the ones never seen before
+  /// (the case is "interesting" iff this is non-empty).
+  std::vector<Feature> add(const std::vector<Feature>& features);
+
+  /// Distinct features discovered so far.
+  std::size_t size() const { return hits_.size(); }
+
+  /// How many cases lit `f` (0 when unknown).
+  std::uint64_t hits(const Feature& f) const;
+
+  /// The energy of a seed with this feature set: the sum of 1/hits over
+  /// its features, so seeds exercising rare paths are scheduled more.
+  double rarity(const std::vector<Feature>& features) const;
+
+  /// All features with hit counts, ordered by name.
+  const std::map<Feature, std::uint64_t>& all() const { return hits_; }
+
+private:
+  std::map<Feature, std::uint64_t> hits_;
+};
+
+}  // namespace mbcr::fuzz

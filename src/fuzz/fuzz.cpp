@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <iterator>
+#include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -61,6 +63,33 @@ void finish_fuzz_obs(const FuzzReport& report,
 #endif
 }
 
+#if !defined(MBCR_OBS_DISABLED)
+/// Per-oracle wall time + run counts, keyed "fuzz.oracle.<name>.*".
+/// Registered once per oracle per process and cached, so probe_case's hot
+/// loop only does relaxed shard adds — whichever driver is running.
+struct OracleMetrics {
+  obs::Counter runs;
+  obs::Counter wall_ns;
+};
+
+const OracleMetrics& oracle_metrics_for(const Oracle& oracle) {
+  static std::mutex mutex;
+  static std::map<const Oracle*, OracleMetrics>* cache =
+      new std::map<const Oracle*, OracleMetrics>;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache->find(&oracle);
+  if (it == cache->end()) {
+    const std::string base = std::string("fuzz.oracle.") + oracle.name;
+    it = cache
+             ->emplace(&oracle,
+                       OracleMetrics{obs::counter(base + ".runs"),
+                                     obs::counter(base + ".wall_ns")})
+             .first;
+  }
+  return it->second;
+}
+#endif
+
 }  // namespace
 
 FuzzCaseData make_case(std::uint64_t rng_seed, std::size_t index,
@@ -100,6 +129,101 @@ FuzzCaseData make_case(std::uint64_t rng_seed, std::size_t index,
   return data;
 }
 
+std::vector<const Oracle*> select_oracles(const std::string& oracle) {
+  std::vector<const Oracle*> selected;
+  if (oracle.empty() || oracle == "all") {
+    for (const Oracle& o : all_oracles()) selected.push_back(&o);
+  } else {
+    const Oracle* o = find_oracle(oracle);
+    if (!o) {
+      std::string known;
+      for (const Oracle& each : all_oracles()) {
+        known += known.empty() ? each.name : std::string("|") + each.name;
+      }
+      throw std::invalid_argument("fuzz: unknown oracle '" + oracle +
+                                  "' (expected all|" + known + ")");
+    }
+    selected.push_back(o);
+  }
+  return selected;
+}
+
+const Oracle* probe_case(const FuzzCaseData& data,
+                         const std::vector<const Oracle*>& oracles,
+                         bool inject_fault, FuzzReport& report,
+                         OracleOutcome* outcome) {
+#if !defined(MBCR_OBS_DISABLED)
+  const bool collect = obs::enabled();
+#endif
+  for (const Oracle* oracle : oracles) {
+    ++report.oracle_runs;
+#if !defined(MBCR_OBS_DISABLED)
+    const auto oracle_t0 = collect ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+#endif
+    const OracleOutcome result = oracle->run(data, inject_fault);
+#if !defined(MBCR_OBS_DISABLED)
+    if (collect) {
+      const OracleMetrics& m = oracle_metrics_for(*oracle);
+      m.runs.add(1);
+      m.wall_ns.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - oracle_t0)
+              .count()));
+    }
+#endif
+    if (result.ok) continue;
+    if (outcome) *outcome = result;
+    return oracle;  // one failure per case is enough
+  }
+  return nullptr;
+}
+
+void record_failure(const FuzzCaseData& data, std::size_t index,
+                    const Oracle& oracle, const OracleOutcome& outcome,
+                    const FuzzConfig& config, FuzzReport& report) {
+  FuzzFailure failure;
+  failure.oracle = oracle.name;
+  failure.detail = outcome.detail;
+  failure.case_seed = data.case_seed;
+  failure.case_index = index;
+  if (config.log) {
+    *config.log << "[fuzz] case " << index << " (seed 0x" << std::hex
+                << data.case_seed << std::dec << ") oracle " << oracle.name
+                << " FAILED: " << outcome.detail << "\n";
+  }
+  failure.shrunk =
+      config.shrink ? shrink_case(data, oracle, config.inject_fault_for_test)
+                    : data;
+  if (config.log && config.shrink) {
+    *config.log << "[fuzz]   shrunk to " << failure.shrunk.inputs.size()
+                << " input(s), " << failure.shrunk.run_seeds.size()
+                << " seed(s), " << ir::stmt_count(failure.shrunk.program.body)
+                << " statement node(s), "
+                << failure.shrunk.program.arrays.size() << " array(s)\n";
+  }
+
+  Repro repro;
+  repro.oracle = oracle.name;
+  repro.detail = outcome.detail;
+  repro.data = failure.shrunk;
+  const std::string dir =
+      config.corpus_dir.empty() ? std::string(".") : config.corpus_dir;
+  failure.repro_path = dir + "/" + repro_filename(failure);
+  try {
+    save_repro(repro, failure.repro_path);
+    if (config.log) {
+      *config.log << "[fuzz]   repro written to " << failure.repro_path
+                  << "\n";
+    }
+  } catch (const std::exception& e) {
+    if (config.log) *config.log << "[fuzz]   " << e.what() << "\n";
+    failure.repro_path.clear();
+  }
+
+  report.failures.push_back(std::move(failure));
+}
+
 FuzzReport run_fuzz(const FuzzConfig& config) {
   if (config.seeds == 0) {
     throw std::invalid_argument("fuzz: need at least one run seed per case");
@@ -108,21 +232,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     throw std::invalid_argument(
         "fuzz: need a program count or a time budget");
   }
-  std::vector<const Oracle*> selected;
-  if (config.oracle.empty() || config.oracle == "all") {
-    for (const Oracle& o : all_oracles()) selected.push_back(&o);
-  } else {
-    const Oracle* o = find_oracle(config.oracle);
-    if (!o) {
-      std::string known;
-      for (const Oracle& each : all_oracles()) {
-        known += known.empty() ? each.name : std::string("|") + each.name;
-      }
-      throw std::invalid_argument("fuzz: unknown oracle '" + config.oracle +
-                                  "' (expected all|" + known + ")");
-    }
-    selected.push_back(o);
-  }
+  const std::vector<const Oracle*> selected = select_oracles(config.oracle);
 
   const auto start = std::chrono::steady_clock::now();
   const auto within_budget = [&](std::size_t index) {
@@ -135,23 +245,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
   };
 
 #if !defined(MBCR_OBS_DISABLED)
-  // Per-oracle wall time + run counts, keyed "fuzz.oracle.<name>.*". The
-  // vector parallels `selected`; registration happens once per run_fuzz so
-  // the hot loop only does relaxed shard adds.
-  struct OracleMetrics {
-    obs::Counter runs;
-    obs::Counter wall_ns;
-  };
-  std::vector<OracleMetrics> oracle_metrics;
   const bool collect = obs::enabled();
-  if (collect) {
-    oracle_metrics.reserve(selected.size());
-    for (const Oracle* oracle : selected) {
-      const std::string base = std::string("fuzz.oracle.") + oracle->name;
-      oracle_metrics.push_back({obs::counter(base + ".runs"),
-                                obs::counter(base + ".wall_ns")});
-    }
-  }
   const obs::Counter cases_counter = obs::counter("fuzz.cases");
 #endif
 
@@ -173,73 +267,15 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
                          "cases");
     }
 #endif
-    for (std::size_t oi = 0; oi < selected.size(); ++oi) {
-      const Oracle* oracle = selected[oi];
-      ++report.oracle_runs;
-#if !defined(MBCR_OBS_DISABLED)
-      const auto oracle_t0 = collect ? std::chrono::steady_clock::now()
-                                     : std::chrono::steady_clock::time_point{};
-#endif
-      const OracleOutcome outcome =
-          oracle->run(data, config.inject_fault_for_test);
-#if !defined(MBCR_OBS_DISABLED)
-      if (collect) {
-        oracle_metrics[oi].runs.add(1);
-        oracle_metrics[oi].wall_ns.add(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - oracle_t0)
-                .count()));
-      }
-#endif
-      if (outcome.ok) continue;
-
-      FuzzFailure failure;
-      failure.oracle = oracle->name;
-      failure.detail = outcome.detail;
-      failure.case_seed = data.case_seed;
-      failure.case_index = index;
-      if (config.log) {
-        *config.log << "[fuzz] case " << index << " (seed 0x" << std::hex
-                    << data.case_seed << std::dec << ") oracle "
-                    << oracle->name << " FAILED: " << outcome.detail << "\n";
-      }
-      failure.shrunk =
-          config.shrink
-              ? shrink_case(data, *oracle, config.inject_fault_for_test)
-              : data;
-      if (config.log && config.shrink) {
-        *config.log << "[fuzz]   shrunk to " << failure.shrunk.inputs.size()
-                    << " input(s), " << failure.shrunk.run_seeds.size()
-                    << " seed(s), "
-                    << ir::stmt_count(failure.shrunk.program.body)
-                    << " statement node(s), "
-                    << failure.shrunk.program.arrays.size() << " array(s)\n";
-      }
-
-      Repro repro;
-      repro.oracle = oracle->name;
-      repro.detail = outcome.detail;
-      repro.data = failure.shrunk;
-      const std::string dir =
-          config.corpus_dir.empty() ? std::string(".") : config.corpus_dir;
-      failure.repro_path = dir + "/" + repro_filename(failure);
-      try {
-        save_repro(repro, failure.repro_path);
-        if (config.log) {
-          *config.log << "[fuzz]   repro written to " << failure.repro_path
-                      << "\n";
-        }
-      } catch (const std::exception& e) {
-        if (config.log) *config.log << "[fuzz]   " << e.what() << "\n";
-        failure.repro_path.clear();
-      }
-
-      report.failures.push_back(std::move(failure));
-      if (report.failures.size() >= config.max_failures) {
-        finish_fuzz_obs(report, start);
-        return report;
-      }
-      break;  // one failure per case is enough; move to the next case
+    OracleOutcome outcome;
+    const Oracle* failed =
+        probe_case(data, selected, config.inject_fault_for_test, report,
+                   &outcome);
+    if (!failed) continue;
+    record_failure(data, index, *failed, outcome, config, report);
+    if (report.failures.size() >= config.max_failures) {
+      finish_fuzz_obs(report, start);
+      return report;
     }
   }
   finish_fuzz_obs(report, start);

@@ -24,6 +24,9 @@
 
 namespace mbcr::fuzz {
 
+struct Oracle;
+struct OracleOutcome;
+
 /// Everything one fuzz case needs to be replayed: the program, its input
 /// vectors, the platform run seeds the replay oracles sample, and the base
 /// machine geometry. Oracles derive the full hierarchy-flavor grid
@@ -87,5 +90,27 @@ FuzzCaseData make_case(std::uint64_t rng_seed, std::size_t index,
 /// Runs the campaign. Throws std::invalid_argument on a bad config
 /// (unknown oracle name, zero programs/seeds without a time budget).
 FuzzReport run_fuzz(const FuzzConfig& config);
+
+// --- shared driver machinery (run_fuzz + the guided engine) ---------------
+
+/// Resolves "all"/"" or one oracle name to the oracles to run. Throws
+/// std::invalid_argument (listing the known names) on an unknown name.
+std::vector<const Oracle*> select_oracles(const std::string& oracle);
+
+/// Runs one case through `oracles` in order (with per-oracle obs run/wall
+/// tallies), counting into `report.oracle_runs`. Returns the first
+/// failing oracle — its outcome in `*outcome` — or nullptr when every
+/// oracle passes. Oracle exceptions (ExecError on a semantically bad
+/// mutant) propagate to the caller.
+const Oracle* probe_case(const FuzzCaseData& data,
+                         const std::vector<const Oracle*>& oracles,
+                         bool inject_fault, FuzzReport& report,
+                         OracleOutcome* outcome);
+
+/// The failure path both drivers share: logs, shrinks per `config`,
+/// writes the repro document, appends to `report.failures`.
+void record_failure(const FuzzCaseData& data, std::size_t index,
+                    const Oracle& oracle, const OracleOutcome& outcome,
+                    const FuzzConfig& config, FuzzReport& report);
 
 }  // namespace mbcr::fuzz

@@ -1,0 +1,47 @@
+// Case mutations for the guided fuzzer.
+//
+// Each mutator derives a new FuzzCaseData from a corpus seed (and, for
+// splicing, a donor): structural edits reuse the shrinker's idiom of
+// cloning the statement tree and editing in place, value edits rebuild
+// the (immutable) expression path to the edited node. Mutants always
+// pass `ir::validate`; mutations that cannot apply (nothing to swap, a
+// splice that would blow the size cap) report failure instead of
+// returning the seed unchanged. Semantically bad mutants — an index
+// nudged out of bounds, a while loop that stops terminating — are not
+// filtered here: their oracles throw ExecError and the guided driver
+// discards them as rejected mutants.
+//
+// Determinism: every choice is drawn from the caller's Xoshiro256, so a
+// mutation schedule replays exactly under the same `--rng-seed`.
+#pragma once
+
+#include "fuzz/fuzz.hpp"
+#include "util/rng.hpp"
+
+namespace mbcr::fuzz {
+
+enum class MutationKind {
+  kSplice,     ///< append a renamed donor program + inputs to the seed
+  kStmtSwap,   ///< swap two statements across the tree's sequence blocks
+  kConstNudge, ///< perturb one constant in a value/index/if-cond expression
+  kGeometry,   ///< double/halve one cache dimension or the L2 latency
+  kInputs,     ///< perturb scalars/array contents, add or drop an input
+  kRunSeeds,   ///< double/halve the platform run-seed vector
+};
+
+const char* to_string(MutationKind kind);
+
+/// Applies one mutation of `kind` to a copy of `seed`. `donor` feeds the
+/// splice mutator (ignored otherwise; nullptr disables splicing). Returns
+/// false — leaving `out` unspecified — when the mutation cannot apply.
+bool mutate_case(const FuzzCaseData& seed, const FuzzCaseData* donor,
+                 MutationKind kind, Xoshiro256& rng, FuzzCaseData& out);
+
+/// Draws mutation kinds until one applies (kInputs always does) and
+/// stamps the mutant with a fresh `case_seed` derived from the seed's, so
+/// repro file names stay unique and the Study/EVT oracles get fresh
+/// campaign seeds.
+FuzzCaseData mutate_any(const FuzzCaseData& seed, const FuzzCaseData* donor,
+                        Xoshiro256& rng);
+
+}  // namespace mbcr::fuzz

@@ -1,6 +1,7 @@
 #include "fuzz/oracles.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "core/study.hpp"
@@ -8,6 +9,8 @@
 #include "ir/interp.hpp"
 #include "ir/verify.hpp"
 #include "ir/vm.hpp"
+#include "mbpta/convergence.hpp"
+#include "mbpta/pwcet.hpp"
 #include "platform/campaign.hpp"
 #include "pub/pub_transform.hpp"
 #include "pub/verify.hpp"
@@ -459,6 +462,106 @@ OracleOutcome oracle_verify(const FuzzCaseData& data, bool) {
   return {};
 }
 
+// --- oracle 9: EVT/convergence — incremental refit == from-scratch fit ----
+
+/// Exact comparison including NaN: both sides run the same numeric code,
+/// so any divergence — even in NaN payloads — is a real bug.
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+OracleOutcome oracle_evt(const FuzzCaseData& data, bool) {
+  const std::vector<InputTrace> traced = trace_inputs(data);
+  if (traced.empty()) return {};
+  const std::vector<platform::MachineConfig> grid = flavor_grid(data.machine);
+  // A small bounded protocol: the checks below are estimator *identities*
+  // (incremental == from-scratch), not an actual certification, so a few
+  // hundred runs per flavor suffice and keep the oracle cheap.
+  mbpta::ConvergenceConfig cc;
+  cc.min_runs = 60;
+  cc.delta = 30;
+  cc.window = 4;
+  cc.tolerance = 0.05;
+  cc.probability = 1e-9;
+  cc.max_runs = 240;
+  // One flavor per replay family (the campaign oracle already sweeps the
+  // engine knobs); the first input bounds the cost.
+  const InputTrace& t = traced.front();
+  for (const platform::MachineConfig& mcfg : {grid[0], grid[4]}) {
+    const platform::Machine machine(mcfg);
+    const std::string at =
+        "input " + t.input->label + " flavor " + flavor_name(mcfg) + ": ";
+    platform::CampaignConfig camp;
+    camp.master_seed = data.case_seed;
+
+    platform::CampaignSampler stream(machine, t.compact, camp);
+    const mbpta::ConvergenceResult inc = mbpta::converge_stream(
+        [&](std::vector<double>& sample, std::size_t count) {
+          stream.append_to(sample, count);
+        },
+        cc);
+    if (inc.sample.empty() || inc.estimates.empty()) {
+      return fail(at + "convergence produced an empty sample or estimate "
+                       "stream");
+    }
+
+    // The legacy chunked protocol is the same estimator, refit for refit.
+    platform::CampaignSampler chunks(machine, t.compact, camp);
+    const mbpta::ConvergenceResult legacy = mbpta::converge(
+        [&](std::size_t count) { return chunks(count); }, cc);
+    if (legacy.runs != inc.runs || legacy.converged != inc.converged ||
+        legacy.sample.size() != inc.sample.size() ||
+        legacy.estimates.size() != inc.estimates.size()) {
+      return fail(at + "converge() and converge_stream() disagree on shape");
+    }
+    for (std::size_t i = 0; i < inc.estimates.size(); ++i) {
+      if (!bits_equal(legacy.estimates[i], inc.estimates[i])) {
+        std::ostringstream ss;
+        ss << at << "chunked refit " << i << " = " << legacy.estimates[i]
+           << " != streamed " << inc.estimates[i];
+        return fail(ss.str());
+      }
+    }
+
+    // The final incremental (sorted-mirror) estimate must equal a
+    // from-scratch fit on the sample the driver collected.
+    const double scratch =
+        mbpta::PwcetCurve(inc.sample, cc.evt).at(cc.probability);
+    if (!bits_equal(scratch, inc.estimates.back())) {
+      std::ostringstream ss;
+      ss << at << "incremental refit " << inc.estimates.back()
+         << " != from-scratch fit " << scratch << " on " << inc.sample.size()
+         << " runs";
+      return fail(ss.str());
+    }
+
+    // Sorted-span entry points are bit-identical to their unsorted twins,
+    // field by field.
+    std::vector<double> sorted = inc.sample;
+    std::sort(sorted.begin(), sorted.end());
+    if (!bits_equal(mbpta::pwcet_probe_sorted(sorted, cc.probability, cc.evt),
+                    scratch)) {
+      return fail(at + "pwcet_probe_sorted != PwcetCurve::at on the same "
+                       "multiset");
+    }
+    const mbpta::ExpTailFit plain =
+        mbpta::fit_exponential_tail(inc.sample, cc.evt);
+    const mbpta::ExpTailFit presorted =
+        mbpta::fit_exponential_tail_sorted(sorted, cc.evt);
+    if (!bits_equal(plain.threshold, presorted.threshold) ||
+        !bits_equal(plain.rate, presorted.rate) ||
+        !bits_equal(plain.zeta, presorted.zeta) ||
+        plain.n_exceedances != presorted.n_exceedances ||
+        plain.n_total != presorted.n_total ||
+        !bits_equal(plain.cv, presorted.cv) ||
+        plain.cv_accepted != presorted.cv_accepted) {
+      return fail(at + "fit_exponential_tail_sorted differs from the "
+                       "unsorted fit");
+    }
+  }
+  return {};
+}
+
 constexpr Oracle kOracles[] = {
     {"replay", "fast run_once == generic-cache reference across the "
                "hierarchy-flavor grid",
@@ -480,6 +583,9 @@ constexpr Oracle kOracles[] = {
                "proof-audited elided execution bit-identical to the "
                "tree-walker",
      oracle_verify},
+    {"evt", "EVT/convergence estimator identities: incremental refit == "
+            "from-scratch fit, chunked == streamed, sorted-span == unsorted",
+     oracle_evt},
 };
 
 }  // namespace

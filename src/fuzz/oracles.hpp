@@ -21,6 +21,12 @@
 //               tree-walking interpreter — trace, env, tokens, path,
 //               leaf_steps and ExecError texts — on both the original and
 //               the pubbed program, for every input
+//   verify      static verifier accepts compiled and elided bytecode;
+//               proof-audited elided execution bit-identical to the
+//               tree-walker
+//   evt         EVT/convergence estimator identities on campaign samples:
+//               incremental (sorted-mirror) refit == from-scratch fit,
+//               chunked protocol == streamed, sorted-span fit == unsorted
 //
 // Oracles are pure: they never mutate the case and are deterministic in
 // it, which is what lets the shrinker re-evaluate candidates cheaply.
@@ -47,7 +53,7 @@ struct Oracle {
   OracleOutcome (*run)(const FuzzCaseData& data, bool inject_fault);
 };
 
-/// All seven oracles, in the documentation order above.
+/// All nine oracles, in the documentation order above.
 std::span<const Oracle> all_oracles();
 
 /// Lookup by name; nullptr for unknown names ("all" is not an oracle).

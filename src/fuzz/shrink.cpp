@@ -244,6 +244,67 @@ Candidates array_candidates(const FuzzCaseData& data) {
   return out;
 }
 
+// --- input-value pass -----------------------------------------------------
+
+/// Value-level reductions of the surviving input vectors: zeroing, then
+/// halving, then deduplicating array contents. The structural passes
+/// decide *which* inputs and arrays survive; this one drives the
+/// surviving values toward zero, so a value-dependent repro ends up
+/// pinning just the values the failure actually needs.
+Candidates value_candidates(const FuzzCaseData& data) {
+  Candidates out;
+  for (std::size_t i = 0; i < data.inputs.size(); ++i) {
+    const auto derive = [&](auto edit) {
+      FuzzCaseData c = data;
+      if (edit(c.inputs[i])) out.push_back(std::move(c));
+    };
+    // Coarse first (the greedy loop tries candidates in order): all
+    // values of the input at once, then per-value refinements.
+    derive([](ir::InputVector& in) {  // zero everything
+      bool changed = false;
+      for (auto& [name, v] : in.scalars) changed |= (v != 0), v = 0;
+      for (auto& [name, a] : in.arrays) {
+        for (ir::Value& v : a) changed |= (v != 0), v = 0;
+      }
+      return changed;
+    });
+    derive([](ir::InputVector& in) {  // zero the arrays, keep scalars
+      bool changed = false;
+      for (auto& [name, a] : in.arrays) {
+        for (ir::Value& v : a) changed |= (v != 0), v = 0;
+      }
+      return changed;
+    });
+    derive([](ir::InputVector& in) {  // halve everything
+      bool changed = false;
+      for (auto& [name, v] : in.scalars) changed |= (v != 0), v /= 2;
+      for (auto& [name, a] : in.arrays) {
+        for (ir::Value& v : a) changed |= (v != 0), v /= 2;
+      }
+      return changed;
+    });
+    derive([](ir::InputVector& in) {  // dedup: arrays become uniform
+      bool changed = false;
+      for (auto& [name, a] : in.arrays) {
+        if (a.empty()) continue;
+        for (ir::Value& v : a) changed |= (v != a.front()), v = a.front();
+      }
+      return changed;
+    });
+    for (const auto& [name, value] : data.inputs[i].scalars) {
+      if (value == 0) continue;
+      const std::string scalar = name;
+      derive([&](ir::InputVector& in) {  // zero one scalar
+        return in.scalars[scalar] = 0, true;
+      });
+      derive([&](ir::InputVector& in) {  // halve one scalar
+        return in.scalars[scalar] /= 2, true;
+      });
+    }
+  }
+  return out;
+}
+
 Candidates geometry_candidates(const FuzzCaseData& data) {
   Candidates out;
   const auto add = [&](auto mutate) {
@@ -295,8 +356,9 @@ FuzzCaseData shrink_case(const FuzzCaseData& failing, const Oracle& oracle,
 
   using Pass = Candidates (*)(const FuzzCaseData&);
   constexpr Pass kPasses[] = {
-      input_candidates, seed_candidates,  stmt_candidates, hoist_candidates,
-      trip_candidates,  array_candidates, geometry_candidates,
+      input_candidates, seed_candidates,  stmt_candidates,
+      hoist_candidates, trip_candidates,  array_candidates,
+      value_candidates, geometry_candidates,
   };
 
   bool progressed = true;

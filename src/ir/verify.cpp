@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "fuzz/fault.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mbcr::ir {
@@ -1131,7 +1132,15 @@ BytecodeProgram compile_verified(const Program& program, const Linked& linked) {
     throw VerifyError(bc.name + ": verifier rejected compiled bytecode:\n" +
                       facts.describe());
   }
-  apply_elision(bc, facts);
+  const std::size_t elided = apply_elision(bc, facts);
+  if (obs::enabled()) {
+    // Verifier path tallies (deterministic per program — coverage signal
+    // for the guided fuzzer).
+    static const obs::Counter c_programs = obs::counter("verify.programs");
+    static const obs::Counter c_elisions = obs::counter("verify.elisions");
+    c_programs.add();
+    c_elisions.add(elided);
+  }
   return bc;
 }
 

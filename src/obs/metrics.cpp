@@ -222,6 +222,37 @@ json::Value metrics_document() {
   return json::Value(std::move(doc));
 }
 
+CounterSnapshot snapshot_counters() {
+  CounterSnapshot out;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  out.values_.reserve(reg.counters.size());
+  // reg.counters is ordered by name, so values_ comes out sorted.
+  for (const auto& [name, slot] : reg.counters) {
+    out.values_.emplace_back(name, merged_slot(reg, slot));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterSnapshot::delta_since(const CounterSnapshot& base) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  // Merge-walk two name-sorted lists. Names only ever get *added* to the
+  // registry, so `base` is normally a prefix-subset of `this` — but the
+  // walk is symmetric anyway: a name missing from `base` counts from
+  // zero, a name missing from `this` (impossible today) is skipped.
+  std::size_t i = 0;
+  for (const auto& [name, value] : values_) {
+    while (i < base.values_.size() && base.values_[i].first < name) ++i;
+    std::uint64_t before = 0;
+    if (i < base.values_.size() && base.values_[i].first == name) {
+      before = base.values_[i].second;
+    }
+    if (value > before) out.emplace_back(name, value - before);
+  }
+  return out;
+}
+
 void reset_metrics() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
@@ -269,6 +300,13 @@ json::Value metrics_document() {
     doc.emplace_back(key, std::move(value));
   }
   return json::Value(std::move(doc));
+}
+
+CounterSnapshot snapshot_counters() { return {}; }
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterSnapshot::delta_since(const CounterSnapshot&) const {
+  return {};
 }
 
 void reset_metrics() {}

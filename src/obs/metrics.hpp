@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/json.hpp"
 
@@ -150,6 +152,36 @@ private:
 Counter counter(std::string_view name);
 Gauge gauge(std::string_view name);
 Histogram histogram(std::string_view name);
+
+/// A point-in-time copy of every registered counter (merged across
+/// shards), cheap enough to bracket a single fuzz case. The guided
+/// fuzzer derives its coverage features from the difference of two
+/// snapshots.
+class CounterSnapshot {
+public:
+  /// (name, value) pairs, sorted by name. Empty when compiled out.
+  const std::vector<std::pair<std::string, std::uint64_t>>& values() const {
+    return values_;
+  }
+
+  /// Counters that grew since `base`, with the growth amount. Tolerates
+  /// late registration on both sides: a counter (or a whole thread
+  /// shard) that appeared after `base` was taken reads as "was zero", so
+  /// its full current value is the delta — a fuzz oracle registering its
+  /// `fuzz.oracle.<name>.*` pair mid-run, or a pool worker touching its
+  /// shard for the first time, never skews or drops entries.
+  std::vector<std::pair<std::string, std::uint64_t>> delta_since(
+      const CounterSnapshot& base) const;
+
+private:
+  friend CounterSnapshot snapshot_counters();
+  std::vector<std::pair<std::string, std::uint64_t>> values_;
+};
+
+/// Captures every registered counter under the registry mutex. Returns
+/// an empty snapshot when compiled out (callers must treat "no counters"
+/// as "no coverage signal", not an error).
+CounterSnapshot snapshot_counters();
 
 /// A merged snapshot of every shard:
 ///   {"counters": {...}, "gauges": {...}, "histograms": {name:

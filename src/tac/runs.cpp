@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace mbcr::tac {
 
 namespace {
@@ -217,6 +219,21 @@ TacTraceResult analyze_trace(const MemTrace& trace, const CacheConfig& il1,
     out.l2 = analyze_sequence(useq, l2.l2, baseline_cycles,
                               miss_penalty_cycles, config);
     out.required_runs = std::max(out.required_runs, out.l2.required_runs);
+  }
+  if (obs::enabled()) {
+    // TAC path tallies: group/event counts are pure functions of the
+    // trace and cache geometry, so the guided fuzzer can use them as
+    // deterministic coverage features.
+    static const obs::Counter c_analyses = obs::counter("tac.analyses");
+    static const obs::Counter c_groups = obs::counter("tac.groups");
+    static const obs::Counter c_events = obs::counter("tac.events");
+    static const obs::Counter c_l2 = obs::counter("tac.l2_analyses");
+    c_analyses.add();
+    c_groups.add(out.il1.groups_considered + out.dl1.groups_considered +
+                 out.l2.groups_considered);
+    c_events.add(out.il1.events.size() + out.dl1.events.size() +
+                 out.l2.events.size());
+    if (l2.enabled) c_l2.add();
   }
   return out;
 }

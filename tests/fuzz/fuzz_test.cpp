@@ -1,5 +1,5 @@
 // The differential fuzzing harness, tested as a subsystem: deterministic
-// case generation, all eight oracles green on the healthy build, failure
+// case generation, all nine oracles green on the healthy build, failure
 // detection + shrinking + repro emission via the synthetic fault switch,
 // and the repro JSON round trip. The compile-time MBCR_FUZZ_FAULT,
 // MBCR_VM_FAULT and MBCR_VERIFY_FAULT hooks have gated tests at the bottom.
@@ -96,7 +96,8 @@ TEST(FuzzHarness, OracleRegistryLookup) {
   EXPECT_NE(find_oracle("verify"), nullptr);
   EXPECT_EQ(find_oracle("nosuch"), nullptr);
   EXPECT_EQ(find_oracle("all"), nullptr);  // "all" is a CLI alias, not an oracle
-  EXPECT_EQ(all_oracles().size(), 8u);
+  EXPECT_NE(find_oracle("evt"), nullptr);
+  EXPECT_EQ(all_oracles().size(), 9u);
 }
 
 TEST(FuzzHarness, RejectsBadConfig) {

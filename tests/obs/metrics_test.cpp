@@ -181,6 +181,50 @@ TEST(Metrics, ConcurrentAddsMergeExactly) {
             static_cast<double>(kThreads * kAddsPerThread));
 }
 
+TEST(Metrics, SnapshotDeltaReportsOnlyGrowth) {
+  EnabledScope scope(true);
+  counter("test.delta.stable").add(5);
+  counter("test.delta.grows").add(2);
+  const CounterSnapshot base = snapshot_counters();
+  counter("test.delta.grows").add(9);
+
+  const auto delta = snapshot_counters().delta_since(base);
+  // Only grown counters appear, name-sorted; the stable one is absent.
+  std::uint64_t grows = 0;
+  for (const auto& [name, growth] : delta) {
+    EXPECT_NE(name, "test.delta.stable");
+    if (name == "test.delta.grows") grows = growth;
+  }
+  EXPECT_EQ(grows, 9u);
+  for (std::size_t i = 1; i < delta.size(); ++i) {
+    EXPECT_LT(delta[i - 1].first, delta[i].first);
+  }
+  // A snapshot is a fixed point against itself.
+  EXPECT_TRUE(base.delta_since(base).empty());
+}
+
+TEST(Metrics, SnapshotDeltaToleratesLateRegistration) {
+  // The guided fuzzer's per-case bracket: counters that register AFTER
+  // the base snapshot (a per-oracle-name "fuzz.oracle.*" family, a new
+  // opcode tally, a shard born on a worker thread mid-run) must count
+  // from zero in the delta — not crash, not be dropped.
+  EnabledScope scope(true);
+  counter("test.delta.preexisting").add(1);
+  const CounterSnapshot base = snapshot_counters();
+
+  // Register + bump from a brand-new thread, so both the metric AND its
+  // only shard postdate the base snapshot.
+  std::thread late([] { counter("test.delta.born_late").add(13); });
+  late.join();
+
+  const auto delta = snapshot_counters().delta_since(base);
+  std::uint64_t born_late = 0;
+  for (const auto& [name, growth] : delta) {
+    if (name == "test.delta.born_late") born_late = growth;
+  }
+  EXPECT_EQ(born_late, 13u);
+}
+
 TEST(Metrics, LateRegistrationIsVisibleToEarlyShards) {
   // A thread whose shard predates a metric's registration must still
   // contribute once it writes that slot (shards grow on demand).

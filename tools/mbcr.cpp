@@ -26,13 +26,18 @@
 // Exit codes: 0 success, 1 failure, 2 usage error, 3 partial sweep
 // (quarantined shards, usable partial result), 130/143 interrupted by
 // SIGINT/SIGTERM.
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +45,7 @@
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "fuzz/fuzz.hpp"
+#include "fuzz/guided.hpp"
 #include "fuzz/oracles.hpp"
 #include "fuzz/repro.hpp"
 #include "ir/bytecode.hpp"
@@ -77,6 +83,13 @@ std::map<std::string, std::string> study_flags(bool with_mode) {
   flags.emplace("json", "");
   flags.emplace("csv", "");
   return flags;
+}
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create directory " + path + ": " +
+                             std::strerror(errno));
+  }
 }
 
 void emit_to(const std::string& path, const char* what,
@@ -247,29 +260,70 @@ int cmd_list() {
 }
 
 /// Derives the fuzz-throughput trend document (BENCH_fuzz.json) from the
-/// metrics the fuzz driver collected: overall cases/sec plus per-oracle
-/// run counts and wall time. The per-oracle rows come straight out of the
-/// "fuzz.oracle.<name>.{runs,wall_ns}" counters.
-json::Value fuzz_bench_document(const fuzz::FuzzConfig& cfg,
-                                const fuzz::FuzzReport& report,
-                                double wall_s) {
+/// metrics the fuzz driver collected: overall cases/sec and coverage
+/// features-discovered/sec, plus per-oracle run counts and wall time. The
+/// per-oracle rows come from the caller's "fuzz.oracle.<name>.{runs,wall_ns}"
+/// counter snapshot (taken before any blind baseline re-run, so they
+/// describe the reported run only). `blind`, when present, is a
+/// same-budget same-seed mutation-off re-run — the coverage floor the
+/// guided schedule has to beat, recorded next to the guided numbers.
+json::Value fuzz_bench_document(const fuzz::GuidedConfig& cfg,
+                                const fuzz::GuidedReport& report,
+                                double wall_s, const json::Value& metrics,
+                                const fuzz::GuidedReport* blind,
+                                double blind_wall_s) {
   json::Object doc;
-  doc.emplace_back("schema", "mbcr-bench-fuzz-v1");
+  doc.emplace_back("schema", "mbcr-bench-fuzz-v2");
   doc.emplace_back("obs_compiled_in", obs::kCompiledIn);
-  doc.emplace_back("programs", cfg.programs);
-  doc.emplace_back("seeds", cfg.seeds);
-  doc.emplace_back("oracle", cfg.oracle);
-  doc.emplace_back("rng_seed", std::to_string(cfg.rng_seed));
-  doc.emplace_back("cases", report.cases_run);
-  doc.emplace_back("oracle_runs", report.oracle_runs);
+  doc.emplace_back("guided", report.guided);
+  doc.emplace_back("coverage_measured", report.coverage_measured);
+  doc.emplace_back("programs", cfg.base.programs);
+  doc.emplace_back("seeds", cfg.base.seeds);
+  doc.emplace_back("oracle", cfg.base.oracle);
+  doc.emplace_back("rng_seed", std::to_string(cfg.base.rng_seed));
+  doc.emplace_back("cases", report.fuzz.cases_run);
+  doc.emplace_back("oracle_runs", report.fuzz.oracle_runs);
+  doc.emplace_back("blind_cases", report.blind_cases);
+  doc.emplace_back("mutated_cases", report.mutated_cases);
+  doc.emplace_back("rejected_cases", report.rejected_cases);
   doc.emplace_back("wall_s", wall_s);
   doc.emplace_back("cases_per_sec",
                    wall_s > 0.0
-                       ? static_cast<double>(report.cases_run) / wall_s
+                       ? static_cast<double>(report.fuzz.cases_run) / wall_s
                        : 0.0);
+  doc.emplace_back("features_discovered", report.features_discovered);
+  doc.emplace_back(
+      "features_per_sec",
+      wall_s > 0.0 ? static_cast<double>(report.features_discovered) / wall_s
+                   : 0.0);
+  doc.emplace_back(
+      "features_per_case",
+      report.fuzz.cases_run > 0
+          ? static_cast<double>(report.features_discovered) /
+                static_cast<double>(report.fuzz.cases_run)
+          : 0.0);
+  doc.emplace_back("corpus_entries", report.corpus.size());
+
+  if (blind != nullptr) {
+    json::Object baseline;
+    baseline.emplace_back("cases", blind->fuzz.cases_run);
+    baseline.emplace_back("features_discovered", blind->features_discovered);
+    baseline.emplace_back(
+        "features_per_case",
+        blind->fuzz.cases_run > 0
+            ? static_cast<double>(blind->features_discovered) /
+                  static_cast<double>(blind->fuzz.cases_run)
+            : 0.0);
+    baseline.emplace_back(
+        "features_per_sec",
+        blind_wall_s > 0.0
+            ? static_cast<double>(blind->features_discovered) / blind_wall_s
+            : 0.0);
+    doc.emplace_back("blind_baseline", json::Value(std::move(baseline)));
+  }
 
   // One row per oracle: runs, total wall, and the mean latency per run.
-  const json::Value snapshot = obs::metrics_json();
+  const json::Value& snapshot = metrics;
   const json::Object& counters = snapshot.at("counters").as_object();
   json::Object oracles;
   constexpr std::string_view kPrefix = "fuzz.oracle.";
@@ -312,7 +366,8 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
     return 1;
   }
 
-  fuzz::FuzzConfig cfg;
+  fuzz::GuidedConfig gcfg;
+  fuzz::FuzzConfig& cfg = gcfg.base;
   cfg.programs = static_cast<std::size_t>(cmd.integer("programs"));
   cfg.seeds = static_cast<std::size_t>(cmd.integer("seeds"));
   cfg.time_budget_s = cmd.real("time-budget");
@@ -321,10 +376,20 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
   cfg.corpus_dir = cmd.str("corpus");
   cfg.shrink = parse_bool("shrink", cmd.str("shrink"));
   cfg.log = &std::cerr;
+  gcfg.guided = parse_bool("guided", cmd.str("guided"));
+  gcfg.corpus_out = cmd.str("corpus-out");
+  const std::string& coverage_path = cmd.str("coverage-json");
+  const std::string& bench_path = cmd.str("bench-json");
+
+  // The guided/coverage driver measures per-case coverage; --bench-json
+  // (v2 reports features alongside cases/sec) and the coverage/corpus
+  // outputs all route through it. A plain `mbcr fuzz` keeps the blind
+  // driver with zero obs involvement.
+  const bool with_coverage = gcfg.guided || !gcfg.corpus_out.empty() ||
+                             !coverage_path.empty() || !bench_path.empty();
 
   // --bench-json needs the per-oracle latency counters, so it arms
   // collection itself (from a clean slate) even without --metrics-json.
-  const std::string& bench_path = cmd.str("bench-json");
   if (!bench_path.empty()) {
     if (!obs::kCompiledIn) {
       std::cerr << "mbcr: --bench-json per-oracle latencies unavailable "
@@ -333,28 +398,73 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
     obs::reset_metrics();
     obs::set_enabled(true);
   }
+  if (!gcfg.corpus_out.empty()) make_dir(gcfg.corpus_out);
   const auto fuzz_start = std::chrono::steady_clock::now();
 
-  // run_fuzz validates the config (unknown --oracle names included)
-  // before any case runs; its invalid_argument reaches main's
+  // run_guided/run_fuzz validate the config (unknown --oracle names
+  // included) before any case runs; their invalid_argument reaches main's
   // usage-error path (stderr, exit 2).
-  const fuzz::FuzzReport report = fuzz::run_fuzz(cfg);
+  fuzz::GuidedReport greport;
+  if (with_coverage) {
+    greport = fuzz::run_guided(gcfg);
+  } else {
+    greport.fuzz = fuzz::run_fuzz(cfg);
+    greport.blind_cases = greport.fuzz.cases_run;
+  }
+  const fuzz::FuzzReport& report = greport.fuzz;
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - fuzz_start)
+                            .count();
   if (!bench_path.empty()) {
-    const double wall_s = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - fuzz_start)
-                              .count();
-    const json::Value doc = fuzz_bench_document(cfg, report, wall_s);
+    // Snapshot the oracle counters before the baseline re-run below so the
+    // per-oracle latency rows describe the reported run only.
+    const json::Value metrics = obs::metrics_json();
+    fuzz::GuidedReport blind;
+    double blind_wall_s = 0.0;
+    bool have_blind = false;
+    if (greport.guided && greport.coverage_measured &&
+        report.interrupted_by == 0) {
+      fuzz::GuidedConfig bcfg = gcfg;
+      bcfg.guided = false;
+      bcfg.corpus_out.clear();
+      bcfg.base.log = nullptr;
+      const auto blind_start = std::chrono::steady_clock::now();
+      blind = fuzz::run_guided(bcfg);
+      blind_wall_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - blind_start)
+                         .count();
+      have_blind = true;
+    }
+    const json::Value doc =
+        fuzz_bench_document(gcfg, greport, wall_s, metrics,
+                            have_blind ? &blind : nullptr, blind_wall_s);
     emit_to(bench_path, "fuzz bench", [&](std::ostream& os) {
       doc.write(os, 2);
       os << "\n";
     });
   }
+  if (!coverage_path.empty()) {
+    const json::Value doc = fuzz::coverage_document(gcfg, greport);
+    emit_to(coverage_path, "fuzz coverage", [&](std::ostream& os) {
+      doc.write(os, 2);
+      os << "\n";
+    });
+  }
+
   std::cout << "fuzz: " << report.cases_run << " program(s) x " << cfg.seeds
             << " seed(s), " << report.oracle_runs << " oracle run(s): "
             << (report.ok() ? "all passed"
                             : std::to_string(report.failures.size()) +
                                   " FAILURE(S)")
             << "\n";
+  if (with_coverage) {
+    std::cout << "fuzz: " << greport.features_discovered
+              << " coverage feature(s), " << greport.corpus.size()
+              << " corpus seed(s) (" << greport.blind_cases << " blind / "
+              << greport.mutated_cases << " mutated / "
+              << greport.rejected_cases << " rejected case(s))\n";
+  }
   for (const fuzz::FuzzFailure& f : report.failures) {
     std::cout << "  case " << f.case_index << " oracle " << f.oracle << ": "
               << f.detail << "\n";
@@ -364,7 +474,8 @@ int cmd_fuzz(const SubcommandCli::Parsed& cmd) {
   }
   if (report.interrupted_by != 0) {
     // The campaign stopped early on SIGINT/SIGTERM; everything written so
-    // far (repros, bench doc) is intact, but signal the interruption.
+    // far (repros, corpus seeds, bench doc) is intact, but signal the
+    // interruption.
     std::cerr << "mbcr: fuzz interrupted by signal " << report.interrupted_by
               << " after " << report.cases_run << " case(s)\n";
     return 128 + report.interrupted_by;
@@ -601,6 +712,9 @@ int main(int argc, char** argv) {
                                    {"corpus", ""},
                                    {"shrink", "true"},
                                    {"replay", ""},
+                                   {"guided", "false"},
+                                   {"corpus-out", ""},
+                                   {"coverage-json", ""},
                                    {"bench-json", ""}}),
                    {}});
   cli.add_command({"sweep",
